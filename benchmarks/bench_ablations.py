@@ -1,0 +1,188 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+Four ablations, each isolating one component of the framework on Visformer:
+
+* **channel reordering** (Sect. V-D) -- importance-ordered vs original-order
+  channel assignment to stages,
+* **concurrent vs sequential execution** (Sect. III-B) -- the Eq. 13 makespan
+  against the sum of stage latencies a pipeline-style deployment would pay,
+* **DVFS** -- sweeping a fixed deployment across the DLA operating points to
+  expose the latency/energy effect of the scaling factor ``theta``,
+* **surrogate vs oracle** -- evaluating the same configurations with the
+  learned GBDT predictor instead of the analytical oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.framework import MapAndConquer
+from repro.core.report import format_table
+from repro.nn.models import visformer
+from repro.search.evaluation import ConfigEvaluator
+from repro.soc.platform import jetson_agx_xavier
+
+ACCURACY_GATE = 0.02
+
+
+def test_ablation_channel_reordering(benchmark, visformer_scenarios, save_table):
+    """Reordering assigns important channels to early stages (Sect. V-D)."""
+    scenario = visformer_scenarios["none"]
+    network = visformer()
+    platform = jetson_agx_xavier()
+    ordered_eval = ConfigEvaluator(network, platform, reorder_channels=True, seed=0)
+    unordered_eval = ConfigEvaluator(network, platform, reorder_channels=False, seed=0)
+    configs = [item.config for item in scenario.result.pareto]
+
+    def evaluate_both():
+        ordered = [ordered_eval.evaluate(config) for config in configs]
+        unordered = [unordered_eval.evaluate(config) for config in configs]
+        return ordered, unordered
+
+    ordered, unordered = benchmark.pedantic(evaluate_both, rounds=1, iterations=1)
+    ordered_first_exit = float(
+        np.mean([e.inference.exit_statistics.stage_accuracies[0] for e in ordered])
+    )
+    unordered_first_exit = float(
+        np.mean([e.inference.exit_statistics.stage_accuracies[0] for e in unordered])
+    )
+    ordered_energy = float(np.mean([e.energy_mj for e in ordered]))
+    unordered_energy = float(np.mean([e.energy_mj for e in unordered]))
+    rows = [
+        {"variant": "with reordering", "first_exit_acc_%": 100 * ordered_first_exit,
+         "avg_energy_mJ": ordered_energy},
+        {"variant": "without reordering", "first_exit_acc_%": 100 * unordered_first_exit,
+         "avg_energy_mJ": unordered_energy},
+    ]
+    save_table(
+        "ablation_reordering",
+        "Ablation: channel reordering (Visformer Pareto configs)\n" + format_table(rows),
+    )
+    # Reordering strengthens the first exit, which is what lets more samples
+    # terminate early and saves energy on average.
+    assert ordered_first_exit >= unordered_first_exit
+    assert ordered_energy <= unordered_energy * 1.05
+
+
+def test_ablation_concurrent_vs_sequential(benchmark, visformer_scenarios, save_table):
+    """Concurrent stages (Eq. 13) vs a sequential pipeline over the same CUs."""
+    scenario = visformer_scenarios["none"]
+
+    def collect():
+        rows = []
+        for item in scenario.result.pareto:
+            concurrent = item.worst_case_latency_ms
+            sequential = sum(stage.latency_ms for stage in item.profile.stages)
+            rows.append((concurrent, sequential))
+        return rows
+
+    pairs = benchmark.pedantic(collect, rounds=3, iterations=1)
+    concurrent_mean = float(np.mean([c for c, _ in pairs]))
+    sequential_mean = float(np.mean([s for _, s in pairs]))
+    save_table(
+        "ablation_concurrency",
+        format_table(
+            [
+                {"model": "concurrent (Eq. 13)", "avg_worst_case_latency_ms": concurrent_mean},
+                {"model": "sequential pipeline", "avg_worst_case_latency_ms": sequential_mean},
+            ]
+        ),
+    )
+    # Concurrency is never slower than running the stages back to back and is
+    # substantially faster on average.
+    assert all(concurrent <= sequential + 1e-9 for concurrent, sequential in pairs)
+    assert concurrent_mean < 0.8 * sequential_mean
+
+
+def test_ablation_dvfs(benchmark, save_table):
+    """Characterise the latency/energy effect of the DVFS scaling factor.
+
+    A fixed partitioned deployment (uniform split, GPU + 2 DLAs) is swept
+    across the DLA DVFS operating points; latency must increase monotonically
+    as the clocks drop (the 1/theta scaling of the cost model) while the
+    energy response is non-trivial -- static power favours racing to idle,
+    dynamic power favours slowing down -- which is why theta belongs in the
+    search space at all.
+    """
+    network = visformer()
+    platform = jetson_agx_xavier()
+    framework = MapAndConquer(network, platform, seed=0)
+    base = framework.sample(seed=0)
+    gpu_last = platform.unit("gpu").num_dvfs_points() - 1
+    dla_points = platform.unit("dla0").num_dvfs_points()
+
+    def sweep():
+        rows = []
+        for index in range(dla_points):
+            config = type(base)(
+                partition=base.partition,
+                indicator=base.indicator,
+                unit_names=("gpu", "dla0", "dla1"),
+                dvfs_indices=(gpu_last, index, index),
+            )
+            evaluated = framework.evaluate(config)
+            rows.append(
+                {
+                    "dla_dvfs_index": index,
+                    "dla_scale": evaluated.profile.stages[1].dvfs_scale,
+                    "worst_case_latency_ms": evaluated.worst_case_latency_ms,
+                    "worst_case_energy_mJ": evaluated.worst_case_energy_mj,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_table(
+        "ablation_dvfs",
+        "Ablation: DLA DVFS sweep on a fixed partitioned deployment\n" + format_table(rows),
+    )
+    latencies = [row["worst_case_latency_ms"] for row in rows]
+    energies = [row["worst_case_energy_mJ"] for row in rows]
+    # Raising the DLA clock (higher index) monotonically reduces latency.
+    assert all(b <= a + 1e-9 for a, b in zip(latencies, latencies[1:]))
+    # And the energy response is non-trivial (worth searching over).
+    assert max(energies) / min(energies) > 1.02
+
+
+def test_ablation_surrogate_vs_oracle(benchmark, save_table):
+    """Evaluating the same configurations with the GBDT surrogate vs the oracle."""
+    network = visformer()
+    platform = jetson_agx_xavier()
+    oracle_framework = MapAndConquer(network, platform, seed=0)
+    surrogate_framework = MapAndConquer(
+        network, platform, use_surrogate=True, surrogate_samples=600, seed=0
+    )
+    configs = [oracle_framework.sample(seed=seed) for seed in range(12)]
+
+    def evaluate_both():
+        oracle = [oracle_framework.evaluate(config) for config in configs]
+        surrogate = [surrogate_framework.evaluate(config) for config in configs]
+        return oracle, surrogate
+
+    oracle, surrogate = benchmark.pedantic(evaluate_both, rounds=1, iterations=1)
+    latency_ratio = np.array([s.latency_ms / o.latency_ms for o, s in zip(oracle, surrogate)])
+    energy_ratio = np.array([s.energy_mj / o.energy_mj for o, s in zip(oracle, surrogate)])
+    rank_agreement = float(
+        np.corrcoef(
+            np.argsort(np.argsort([o.energy_mj for o in oracle])),
+            np.argsort(np.argsort([s.energy_mj for s in surrogate])),
+        )[0, 1]
+    )
+    save_table(
+        "ablation_surrogate",
+        format_table(
+            [
+                {"metric": "median latency ratio (surrogate/oracle)",
+                 "value": float(np.median(latency_ratio))},
+                {"metric": "median energy ratio (surrogate/oracle)",
+                 "value": float(np.median(energy_ratio))},
+                {"metric": "energy rank correlation", "value": rank_agreement},
+            ],
+            float_format="{:.3f}",
+        ),
+    )
+    # The surrogate tracks the oracle closely enough to steer the search: the
+    # medians stay within ~40 % and the ranking of candidates is preserved.
+    assert 0.6 < float(np.median(latency_ratio)) < 1.6
+    assert 0.6 < float(np.median(energy_ratio)) < 1.6
+    assert rank_agreement > 0.6

@@ -1,0 +1,81 @@
+"""Figure 6 -- search results under the three feature-reuse constraints.
+
+The paper runs its evolutionary search three times for Visformer: with no
+feature-map-reuse constraint, with at most 75 % reuse, and with at most 50 %
+reuse, and plots the explored (latency, energy, accuracy) points.  The key
+quantitative take-aways are an up-to ~2.1x energy gain over GPU-only at
+<= 30 ms latency, an up-to ~1.7x latency speedup over DLA-only at comparable
+energy, and a noticeable accuracy drop (~6 %) once reuse is capped at 50 %.
+
+This bench reruns the three searches (shared session fixtures), reports the
+Pareto front of each, and checks those relationships.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+
+ACCURACY_GATE = 0.02
+
+
+def _scenario_rows(name, scenario, gpu, dla):
+    framework = scenario.framework
+    best_energy = framework.select_energy_oriented(
+        scenario.result.pareto, max_accuracy_drop=ACCURACY_GATE
+    )
+    best_latency = framework.select_latency_oriented(
+        scenario.result.pareto, max_accuracy_drop=ACCURACY_GATE
+    )
+    best_accuracy = max(item.accuracy for item in scenario.result.pareto)
+    return {
+        "scenario": name,
+        "pareto_size": len(scenario.result.pareto),
+        "evaluations": scenario.result.num_evaluations,
+        "best_acc_%": 100 * best_accuracy,
+        "energy_gain_vs_gpu_x": gpu.energy_mj / best_energy.energy_mj,
+        "speedup_vs_dla_x": dla.latency_ms / best_latency.latency_ms,
+        "best_energy_mJ": best_energy.energy_mj,
+        "best_latency_ms": best_latency.latency_ms,
+    }
+
+
+def test_fig6_constrained_searches(benchmark, visformer_scenarios, save_table):
+    framework = visformer_scenarios["none"].framework
+    gpu = framework.baseline("gpu")
+    dla = framework.baseline("dla0")
+
+    def summarise():
+        return [
+            _scenario_rows("no constraint", visformer_scenarios["none"], gpu, dla),
+            _scenario_rows("<= 75% reuse", visformer_scenarios["75"], gpu, dla),
+            _scenario_rows("<= 50% reuse", visformer_scenarios["50"], gpu, dla),
+        ]
+
+    rows = benchmark.pedantic(summarise, rounds=3, iterations=1)
+    summary = "\n".join(
+        [
+            "Figure 6 reproduction (Visformer, three reuse-constraint scenarios)",
+            format_table(rows),
+            "",
+            f"GPU-only reference: {gpu.energy_mj:.1f} mJ / {gpu.latency_ms:.1f} ms",
+            f"DLA-only reference: {dla.energy_mj:.1f} mJ / {dla.latency_ms:.1f} ms",
+            "paper: >= 2.1x energy gain vs GPU-only, >= 1.7x speedup vs DLA-only,",
+            "       ~6 % accuracy drop under the 50 % reuse constraint",
+        ]
+    )
+    save_table("fig6_search", summary)
+
+    unconstrained, r75, r50 = rows
+    # Headline claims: the unconstrained search beats the paper's reported
+    # factors (our exit model is idealised, see EXPERIMENTS.md).
+    assert unconstrained["energy_gain_vs_gpu_x"] >= 2.1
+    assert unconstrained["speedup_vs_dla_x"] >= 1.7
+    # Constrained searches still find good trade-offs.
+    assert r75["energy_gain_vs_gpu_x"] > 1.5
+    assert r50["energy_gain_vs_gpu_x"] > 1.5
+    # Tightening the reuse budget never helps accuracy.
+    assert r50["best_acc_%"] <= unconstrained["best_acc_%"] + 1e-6
+    # All searches respect their reuse caps.
+    for key, cap in (("75", 0.75), ("50", 0.50)):
+        for item in visformer_scenarios[key].result.feasible:
+            assert item.reuse_fraction <= cap + 1e-9

@@ -1,0 +1,61 @@
+"""Section V-E -- quality and cost of the learned hardware surrogate.
+
+The paper trains an XGBoost predictor on a layer-wise benchmark dataset and
+uses it inside the search loop.  This bench reproduces that component with
+the from-scratch GBDT: it measures held-out prediction quality (R^2 and
+mean absolute percentage error for latency and energy) and times both
+surrogate training and batched prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.perf.dataset import generate_benchmark_dataset
+from repro.perf.predictor import train_surrogate
+from repro.soc.platform import jetson_agx_xavier
+
+
+def test_surrogate_training_and_quality(benchmark, save_table):
+    platform = jetson_agx_xavier()
+    dataset = generate_benchmark_dataset(platform, num_samples=1200, noise_std=0.05, seed=0)
+    train, test = dataset.split(train_fraction=0.85, seed=0)
+
+    def fit():
+        return train_surrogate(platform, dataset=train, n_estimators=80, max_depth=5, seed=0)
+
+    surrogate = benchmark.pedantic(fit, rounds=1, iterations=1)
+    metrics = surrogate.evaluate(test)
+
+    rows = [
+        {"metric": "training rows", "value": float(len(train))},
+        {"metric": "held-out rows", "value": float(len(test))},
+        {"metric": "latency R^2 (log-space)", "value": metrics["latency_r2"]},
+        {"metric": "energy R^2 (log-space)", "value": metrics["energy_r2"]},
+        {"metric": "latency MAPE", "value": metrics["latency_mape"]},
+        {"metric": "energy MAPE", "value": metrics["energy_mape"]},
+    ]
+    summary = "\n".join(
+        ["Section V-E reproduction (hardware surrogate quality)", format_table(rows, float_format="{:.3f}")]
+    )
+    save_table("predictor_quality", summary)
+
+    assert metrics["latency_r2"] > 0.8
+    assert metrics["energy_r2"] > 0.8
+    assert metrics["latency_mape"] < 0.5
+    assert metrics["energy_mape"] < 0.5
+
+
+def test_surrogate_prediction_throughput(benchmark):
+    platform = jetson_agx_xavier()
+    dataset = generate_benchmark_dataset(platform, num_samples=600, seed=1)
+    surrogate = train_surrogate(platform, dataset=dataset, n_estimators=60, max_depth=4, seed=1)
+    features = dataset.features
+
+    def predict_batch():
+        return surrogate.latency_model.predict(features)
+
+    predictions = benchmark.pedantic(predict_batch, rounds=5, iterations=1)
+    assert predictions.shape == (len(dataset),)
+    assert np.all(np.isfinite(predictions))

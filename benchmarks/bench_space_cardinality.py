@@ -1,0 +1,63 @@
+"""Section V-A -- search-space cardinality and sampling throughput.
+
+The paper illustrates the size of the mapping space with a single Visformer
+layer: 8 partitioning ratios per stage, M = 3 stages and ~50 joint DVFS
+settings give O(1.5e5) choices for one layer alone, which motivates the
+evolutionary search.  This bench recomputes that figure for the modelled
+Xavier platform (whose DVFS tables give 360 joint settings) and times how
+fast the search space can sample valid configurations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.report import format_table
+
+
+def test_space_cardinality_and_sampling(benchmark, visformer_framework, save_table):
+    space = visformer_framework.space
+
+    def sample_batch():
+        return space.population(200, seed=0)
+
+    population = benchmark.pedantic(sample_batch, rounds=3, iterations=1)
+    assert len(population) == 200
+
+    per_layer = space.per_layer_cardinality()
+    rows = [
+        {
+            "quantity": "partition choices per layer (8^M)",
+            "value": f"{len(space.ratio_choices) ** space.num_stages:,}",
+        },
+        {
+            "quantity": "stage-to-CU assignments (M!)",
+            "value": f"{space.mapping_cardinality():,}",
+        },
+        {
+            "quantity": "joint DVFS settings",
+            "value": f"{space.dvfs_cardinality():,}",
+        },
+        {
+            "quantity": "per-layer cardinality (paper: O(1.5e5))",
+            "value": f"{per_layer:,}",
+        },
+        {
+            "quantity": "full joint space (upper bound)",
+            "value": f"{space.total_cardinality():.2e}",
+        },
+    ]
+    summary = "\n".join(
+        ["Section V-A reproduction (search-space cardinality)", format_table(rows)]
+    )
+    save_table("space_cardinality", summary)
+
+    # Same structure as the paper's estimate: ratios^M x M! x |DVFS|.
+    expected = len(space.ratio_choices) ** space.num_stages
+    expected *= math.factorial(space.num_stages)
+    expected *= space.dvfs_cardinality()
+    assert per_layer == expected
+    # Order of magnitude of the paper's O(1.5e5) example (our DVFS table has
+    # 360 joint settings instead of 50, hence the factor ~7 difference).
+    assert 1e5 < per_layer < 1e7
+    assert space.total_cardinality() > 1e30

@@ -1,0 +1,98 @@
+"""Table II -- performance breakdown of the Pareto-optimal models.
+
+For both Visformer and VGG19 the paper reports, per feature-reuse scenario
+(none / 75 % / 50 %), the most latency-oriented ("Ours-L") and the most
+energy-oriented ("Ours-E") Pareto models next to the GPU-only and DLA-only
+baselines, with top-1 accuracy, average energy, average latency and the
+feature-map reuse percentage.  This bench regenerates the same rows.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table, table2_row
+
+ACCURACY_GATE = 0.02
+
+
+def _model_rows(scenarios, framework):
+    gpu = framework.baseline("gpu")
+    dla = framework.baseline("dla0")
+    rows = [
+        table2_row("None", "GPU", gpu, use_worst_case=True),
+        table2_row("None", "DLA", dla, use_worst_case=True),
+    ]
+    labels = {"none": "No Fmap Constr.", "75": "75% Fmap Constr.", "50": "50% Fmap Constr."}
+    for key, label in labels.items():
+        scenario = scenarios[key]
+        ours_l = scenario.framework.select_latency_oriented(
+            scenario.result.pareto, max_accuracy_drop=ACCURACY_GATE
+        )
+        ours_e = scenario.framework.select_energy_oriented(
+            scenario.result.pareto, max_accuracy_drop=ACCURACY_GATE
+        )
+        rows.append(table2_row(label, "Ours-L", ours_l))
+        rows.append(table2_row(label, "Ours-E", ours_e))
+    return rows, gpu, dla
+
+
+def test_table2_visformer(benchmark, visformer_scenarios, visformer_framework, save_table):
+    def build():
+        return _model_rows(visformer_scenarios, visformer_framework)
+
+    rows, gpu, dla = benchmark.pedantic(build, rounds=3, iterations=1)
+    summary = "\n".join(
+        ["Table II reproduction -- Visformer (ViT-based architecture)", format_table(rows)]
+    )
+    save_table("table2_visformer", summary)
+
+    by_label = {(r["Opt. Strategy"], r["NN Implement."]): r for r in rows}
+    gpu_row = by_label[("None", "GPU")]
+    dla_row = by_label[("None", "DLA")]
+    # Baseline shape (Table II): GPU fast/hungry, DLA slow/frugal, both at
+    # the pretrained 88.09 % accuracy.
+    assert gpu_row["Avg. Lat. (ms)"] < dla_row["Avg. Lat. (ms)"]
+    assert dla_row["Avg. Enrg. (mJ)"] < gpu_row["Avg. Enrg. (mJ)"]
+    assert abs(gpu_row["TOP-1 Acc (%)"] - 88.09) < 0.1
+    # Ours-E always consumes no more energy than Ours-L within a scenario.
+    for label in ("No Fmap Constr.", "75% Fmap Constr.", "50% Fmap Constr."):
+        ours_l = by_label[(label, "Ours-L")]
+        ours_e = by_label[(label, "Ours-E")]
+        assert ours_e["Avg. Enrg. (mJ)"] <= ours_l["Avg. Enrg. (mJ)"] + 1e-9
+        assert ours_l["Avg. Lat. (ms)"] <= ours_e["Avg. Lat. (ms)"] + 1e-9
+        # Dynamic models keep accuracy in the Table II band (>= 82 %).
+        assert ours_e["TOP-1 Acc (%)"] > 80.0
+        # Energy improves on the GPU baseline, latency on the DLA baseline.
+        assert ours_e["Avg. Enrg. (mJ)"] < gpu_row["Avg. Enrg. (mJ)"]
+        assert ours_l["Avg. Lat. (ms)"] < dla_row["Avg. Lat. (ms)"]
+    # Reuse-capped scenarios respect the caps of their columns.
+    assert by_label[("50% Fmap Constr.", "Ours-E")]["Fmap reuse (%)"] <= 50.0 + 1e-6
+    assert by_label[("75% Fmap Constr.", "Ours-E")]["Fmap reuse (%)"] <= 75.0 + 1e-6
+
+
+def test_table2_vgg19(benchmark, vgg19_scenarios, vgg19_framework, save_table):
+    def build():
+        return _model_rows(vgg19_scenarios, vgg19_framework)
+
+    rows, gpu, dla = benchmark.pedantic(build, rounds=1, iterations=1)
+    summary = "\n".join(
+        ["Table II reproduction -- VGG19 (CNN-based architecture)", format_table(rows)]
+    )
+    save_table("table2_vgg19", summary)
+
+    by_label = {(r["Opt. Strategy"], r["NN Implement."]): r for r in rows}
+    gpu_row = by_label[("None", "GPU")]
+    dla_row = by_label[("None", "DLA")]
+    assert abs(gpu_row["TOP-1 Acc (%)"] - 80.55) < 0.1
+    assert gpu_row["Avg. Enrg. (mJ)"] > 2 * dla_row["Avg. Enrg. (mJ)"]
+    for label in ("No Fmap Constr.", "75% Fmap Constr.", "50% Fmap Constr."):
+        ours_e = by_label[(label, "Ours-E")]
+        ours_l = by_label[(label, "Ours-L")]
+        # Table II: VGG19 dynamic variants stay in the 82-85 % band; under
+        # the hard 50 % reuse cap our analytical accuracy model concedes a
+        # little more, so the gate here is the pretrained baseline minus the
+        # 2 % selection tolerance.
+        assert ours_e["TOP-1 Acc (%)"] > 78.5
+        assert ours_e["Avg. Enrg. (mJ)"] < gpu_row["Avg. Enrg. (mJ)"] / 2
+        assert ours_l["Avg. Lat. (ms)"] < dla_row["Avg. Lat. (ms)"] / 2
+    # Without a reuse cap the dynamic VGG19 matches or beats its baseline.
+    assert by_label[("No Fmap Constr.", "Ours-E")]["TOP-1 Acc (%)"] > 80.0

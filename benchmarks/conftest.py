@@ -1,0 +1,118 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The searches
+are the expensive part, so they are run once per (model, reuse-constraint)
+scenario in session-scoped fixtures and shared by all benches; each bench
+then times its own characteristic computation with ``benchmark.pedantic`` and
+writes the regenerated table to ``benchmarks/results/`` so the numbers
+survive the run (pytest captures stdout by default).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import pytest
+
+from repro.core.framework import MapAndConquer
+from repro.nn.models import vgg19, visformer
+from repro.search.constraints import SearchConstraints
+from repro.search.evolutionary import SearchResult
+from repro.soc.platform import jetson_agx_xavier
+
+#: Search budget used by the benches.  The paper runs 200 x 60 evaluations on
+#: a GPU cluster; this reduced budget converges on the analytical problem in
+#: a few seconds while keeping the same search dynamics.
+BENCH_GENERATIONS = 20
+BENCH_POPULATION = 24
+
+#: Accuracy gate used when extracting "Ours-L" / "Ours-E" style models (the
+#: paper highlights configurations within a 0.5 % accuracy drop; the coarser
+#: analytical accuracy model warrants a slightly wider 2 % gate).
+ACCURACY_GATE = 0.02
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@dataclass
+class Scenario:
+    """One search scenario: a framework plus its completed search result."""
+
+    name: str
+    framework: MapAndConquer
+    result: SearchResult
+    reuse_cap: Optional[float]
+
+
+def _run_scenario(model_builder, reuse_cap: Optional[float], seed: int = 0) -> Scenario:
+    framework = MapAndConquer(
+        model_builder(),
+        jetson_agx_xavier(),
+        max_reuse_fraction=reuse_cap,
+        seed=seed,
+    )
+    constraints = SearchConstraints(max_reuse_fraction=reuse_cap)
+    result = framework.search(
+        generations=BENCH_GENERATIONS,
+        population_size=BENCH_POPULATION,
+        constraints=constraints,
+        seed=seed,
+    )
+    label = "no-constraint" if reuse_cap is None else f"{int(reuse_cap * 100)}%-reuse"
+    return Scenario(
+        name=f"{model_builder().name}/{label}",
+        framework=framework,
+        result=result,
+        reuse_cap=reuse_cap,
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory the regenerated tables are written to."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_table(results_dir):
+    """Persist a regenerated table to ``benchmarks/results/<name>.txt``."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def visformer_scenarios() -> Dict[str, Scenario]:
+    """Visformer searches under the three Fig. 6 reuse scenarios."""
+    return {
+        "none": _run_scenario(visformer, None),
+        "75": _run_scenario(visformer, 0.75),
+        "50": _run_scenario(visformer, 0.50),
+    }
+
+
+@pytest.fixture(scope="session")
+def vgg19_scenarios() -> Dict[str, Scenario]:
+    """VGG19 searches under the three Table II reuse scenarios."""
+    return {
+        "none": _run_scenario(vgg19, None),
+        "75": _run_scenario(vgg19, 0.75),
+        "50": _run_scenario(vgg19, 0.50),
+    }
+
+
+@pytest.fixture(scope="session")
+def visformer_framework(visformer_scenarios) -> MapAndConquer:
+    """The unconstrained Visformer framework (shared baselines)."""
+    return visformer_scenarios["none"].framework
+
+
+@pytest.fixture(scope="session")
+def vgg19_framework(vgg19_scenarios) -> MapAndConquer:
+    """The unconstrained VGG19 framework (shared baselines)."""
+    return vgg19_scenarios["none"].framework

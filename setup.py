@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only so that ``pip install -e . --no-build-isolation --no-use-pep517`` (the
+legacy editable path) works on offline machines that lack the ``wheel``
+build dependency required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Map-and-Conquer reproduction library.
+
+A from-scratch Python reproduction of *"Map-and-Conquer: Energy-Efficient
+Mapping of Dynamic Neural Nets onto Heterogeneous MPSoCs"* (DAC 2023).  The
+package provides:
+
+* a symbolic neural-network IR and model zoo (:mod:`repro.nn`),
+* a calibrated heterogeneous MPSoC model with DVFS (:mod:`repro.soc`),
+* analytical and learned (GBDT surrogate) layer cost models plus the
+  concurrent-execution characterisation of Eq. 8-14 (:mod:`repro.perf`),
+* the dynamic multi-exit inference simulator (:mod:`repro.dynamics`),
+* the evolutionary mapping optimiser and baselines (:mod:`repro.search`),
+* the high-level :class:`~repro.core.framework.MapAndConquer` facade and
+  report helpers (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import MapAndConquer, jetson_agx_xavier, visformer
+
+    framework = MapAndConquer(visformer(), jetson_agx_xavier())
+    result = framework.search(generations=20, population_size=16)
+    print(result.best.summary_row())
+"""
+
+from .core.framework import MapAndConquer
+from .core.report import format_table
+from .nn.models import build_model, resnet20, vgg19, visformer
+from .search.constraints import SearchConstraints
+from .search.space import MappingConfig, SearchSpace
+from .soc.platform import Platform, jetson_agx_xavier
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MapAndConquer",
+    "format_table",
+    "SearchConstraints",
+    "MappingConfig",
+    "SearchSpace",
+    "Platform",
+    "jetson_agx_xavier",
+    "visformer",
+    "vgg19",
+    "resnet20",
+    "build_model",
+    "__version__",
+]

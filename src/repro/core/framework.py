@@ -1,0 +1,197 @@
+"""The Map-and-Conquer facade: one object that runs the whole pipeline.
+
+Typical usage::
+
+    from repro.core import MapAndConquer
+    from repro.nn.models import visformer
+    from repro.soc import jetson_agx_xavier
+
+    framework = MapAndConquer(visformer(), jetson_agx_xavier())
+    result = framework.search(generations=30, population_size=24)
+    best = framework.select_energy_oriented(result.pareto)
+    gpu_only = framework.baseline("gpu")
+    print(f"energy gain: {gpu_only.energy_mj / best.energy_mj:.2f}x")
+
+The facade owns a :class:`~repro.search.evaluation.ConfigEvaluator` (so all
+evaluations share one cache and one channel ranking), a
+:class:`~repro.search.space.SearchSpace`, and small helpers to reproduce the
+baselines and Pareto selections reported in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..dynamics.accuracy import AccuracyModel
+from ..dynamics.samples import DEFAULT_VALIDATION_SAMPLES
+from ..errors import ConfigurationError
+from ..nn.channels import ChannelRanking, rank_channels
+from ..nn.graph import NetworkGraph
+from ..perf.layer_cost import CostModel
+from ..perf.predictor import train_surrogate
+from ..search.baselines import single_unit_baseline, static_partitioned_baseline
+from ..search.constraints import SearchConstraints
+from ..search.evaluation import ConfigEvaluator, EvaluatedConfig
+from ..search.evolutionary import EvolutionarySearch, SearchResult
+from ..search.objectives import paper_objective
+from ..search.pareto import pareto_front, select_energy_oriented, select_latency_oriented
+from ..search.space import MappingConfig, SearchSpace
+from ..soc.platform import Platform, jetson_agx_xavier
+
+__all__ = ["MapAndConquer"]
+
+
+class MapAndConquer:
+    """End-to-end Map-and-Conquer framework for one network on one platform.
+
+    Parameters
+    ----------
+    network:
+        The pretrained network to transform and map.
+    platform:
+        Target MPSoC; defaults to the calibrated Jetson AGX Xavier model.
+    cost_model:
+        Per-layer latency/energy model.  ``None`` uses the analytical oracle;
+        set ``use_surrogate=True`` to train and use a GBDT surrogate instead
+        (the paper's configuration).
+    use_surrogate:
+        Train a surrogate predictor on a generated benchmark dataset and use
+        it for all evaluations.
+    surrogate_samples:
+        Benchmark-dataset size when training the surrogate.
+    accuracy_model:
+        Coverage-to-accuracy model; ``None`` uses the calibrated default.
+    num_stages:
+        Number of inference stages; defaults to the platform's unit count.
+    max_reuse_fraction:
+        Optional cap on feature-map reuse baked into the search space (the
+        75 % / 50 % scenarios).
+    reorder_channels:
+        Apply the Sect. V-D channel-importance reordering (default on).
+    validation_samples:
+        Validation-set size used for exit statistics.
+    seed:
+        Seed for the channel ranking and surrogate training.
+    """
+
+    def __init__(
+        self,
+        network: NetworkGraph,
+        platform: Optional[Platform] = None,
+        cost_model: Optional[CostModel] = None,
+        use_surrogate: bool = False,
+        surrogate_samples: int = 1500,
+        accuracy_model: Optional[AccuracyModel] = None,
+        num_stages: Optional[int] = None,
+        max_reuse_fraction: Optional[float] = None,
+        reorder_channels: bool = True,
+        validation_samples: int = DEFAULT_VALIDATION_SAMPLES,
+        seed: int = 0,
+    ) -> None:
+        if cost_model is not None and use_surrogate:
+            raise ConfigurationError("pass either cost_model or use_surrogate, not both")
+        self.network = network
+        self.platform = platform if platform is not None else jetson_agx_xavier()
+        self.seed = int(seed)
+        if use_surrogate:
+            cost_model = train_surrogate(
+                self.platform, num_samples=surrogate_samples, seed=self.seed
+            )
+        self.cost_model = cost_model
+        self.ranking: ChannelRanking = rank_channels(network, seed=self.seed)
+        self.evaluator = ConfigEvaluator(
+            network=network,
+            platform=self.platform,
+            cost_model=cost_model,
+            accuracy_model=accuracy_model,
+            ranking=self.ranking,
+            reorder_channels=reorder_channels,
+            validation_samples=validation_samples,
+            seed=self.seed,
+        )
+        self.space = SearchSpace(
+            network=network,
+            platform=self.platform,
+            num_stages=num_stages,
+            max_reuse_fraction=max_reuse_fraction,
+        )
+
+    # -- evaluation -----------------------------------------------------------------
+    def evaluate(self, config: MappingConfig) -> EvaluatedConfig:
+        """Evaluate one explicit configuration ``Pi``."""
+        return self.evaluator.evaluate(config)
+
+    def sample(self, seed: Optional[int] = None) -> MappingConfig:
+        """Sample one random configuration from the search space."""
+        return self.space.sample(self.seed if seed is None else seed)
+
+    # -- baselines ------------------------------------------------------------------
+    def baseline(self, unit_name: str, dvfs_index: Optional[int] = None) -> EvaluatedConfig:
+        """GPU-only / DLA-only style single-unit baseline."""
+        return single_unit_baseline(
+            self.network,
+            self.platform,
+            unit_name,
+            cost_model=self.cost_model,
+            dvfs_index=dvfs_index,
+            seed=self.seed,
+        )
+
+    def static_baseline(
+        self, unit_names: Optional[Tuple[str, ...]] = None
+    ) -> EvaluatedConfig:
+        """Static width-partitioned mapping across units (no early exits)."""
+        return static_partitioned_baseline(
+            self.network,
+            self.platform,
+            cost_model=self.cost_model,
+            unit_names=unit_names,
+            seed=self.seed,
+        )
+
+    # -- search ---------------------------------------------------------------------
+    def search(
+        self,
+        generations: int = 200,
+        population_size: int = 60,
+        constraints: Optional[SearchConstraints] = None,
+        objective: Callable[[EvaluatedConfig], float] = paper_objective,
+        elite_fraction: float = 0.25,
+        mutation_rate: float = 0.8,
+        seed: Optional[int] = None,
+    ) -> SearchResult:
+        """Run the evolutionary search (Fig. 5) and return its result.
+
+        The paper's full budget is 200 generations of 60 individuals; the
+        benches and examples use smaller budgets that converge on the reduced
+        analytical problem in seconds.
+        """
+        search = EvolutionarySearch(
+            space=self.space,
+            evaluator=self.evaluator,
+            objective=objective,
+            constraints=constraints,
+            population_size=population_size,
+            generations=generations,
+            elite_fraction=elite_fraction,
+            mutation_rate=mutation_rate,
+            seed=self.seed if seed is None else seed,
+        )
+        return search.run()
+
+    # -- Pareto selection -------------------------------------------------------------
+    def pareto(self, evaluated: Sequence[EvaluatedConfig]) -> list:
+        """Non-dominated subset of ``evaluated``."""
+        return pareto_front(list(evaluated))
+
+    def select_latency_oriented(
+        self, evaluated: Sequence[EvaluatedConfig], max_accuracy_drop: Optional[float] = None
+    ) -> EvaluatedConfig:
+        """Pick the "Ours-L" model from a (Pareto) set."""
+        return select_latency_oriented(list(evaluated), max_accuracy_drop=max_accuracy_drop)
+
+    def select_energy_oriented(
+        self, evaluated: Sequence[EvaluatedConfig], max_accuracy_drop: Optional[float] = None
+    ) -> EvaluatedConfig:
+        """Pick the "Ours-E" model from a (Pareto) set."""
+        return select_energy_oriented(list(evaluated), max_accuracy_drop=max_accuracy_drop)

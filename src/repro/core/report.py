@@ -1,0 +1,84 @@
+"""Plain-text report tables in the style of the paper's Table II.
+
+The benchmark harness prints the same rows the paper reports -- optimisation
+strategy, implementation, top-1 accuracy, average energy, average latency and
+feature-map reuse -- so a reader can line the reproduction up against the
+publication.  Only string formatting lives here; all numbers come from
+:class:`~repro.search.evaluation.EvaluatedConfig` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..search.evaluation import EvaluatedConfig
+
+__all__ = ["format_table", "table_to_string", "table2_row", "comparison_row"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a list of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+# Backwards-friendly alias: some call sites read better with this name.
+table_to_string = format_table
+
+
+def table2_row(
+    strategy: str,
+    implementation: str,
+    evaluated: EvaluatedConfig,
+    use_worst_case: bool = False,
+) -> dict:
+    """One row of the Table II reproduction.
+
+    ``use_worst_case`` reports the all-stages-instantiated metrics, which is
+    the right view for non-dynamic baselines (single-unit and static
+    partitioned mappings).
+    """
+    latency = evaluated.worst_case_latency_ms if use_worst_case else evaluated.latency_ms
+    energy = evaluated.worst_case_energy_mj if use_worst_case else evaluated.energy_mj
+    return {
+        "Opt. Strategy": strategy,
+        "NN Implement.": implementation,
+        "TOP-1 Acc (%)": 100.0 * evaluated.accuracy,
+        "Avg. Enrg. (mJ)": energy,
+        "Avg. Lat. (ms)": latency,
+        "Fmap reuse (%)": 100.0 * evaluated.reuse_fraction,
+    }
+
+
+def comparison_row(label: str, reference: EvaluatedConfig, candidate: EvaluatedConfig) -> dict:
+    """Speedup / energy-gain row of a candidate against a reference mapping."""
+    return {
+        "candidate": label,
+        "speedup_x": reference.latency_ms / candidate.latency_ms,
+        "energy_gain_x": reference.energy_mj / candidate.energy_mj,
+        "accuracy_delta_pct": 100.0 * (candidate.accuracy - reference.accuracy),
+        "reuse_pct": 100.0 * candidate.reuse_fraction,
+    }

@@ -1,0 +1,32 @@
+"""Dynamic (multi-exit) inference behaviour.
+
+The hardware model in :mod:`repro.perf` answers "how fast / how much energy
+if these stages run"; this subpackage answers "which stages run for which
+inputs and what accuracy results":
+
+* :mod:`repro.dynamics.accuracy` -- a calibrated analytical model mapping a
+  stage's channel-importance coverage to its top-1 accuracy (the substitute
+  for training multi-exit models on CIFAR-100, see DESIGN.md),
+* :mod:`repro.dynamics.samples` -- exit statistics under the paper's ideal
+  input-mapping assumption: the ``N_i`` counts of Eq. 16 and the fraction of
+  samples terminating at each stage,
+* :mod:`repro.dynamics.inference` -- expected latency/energy of dynamic
+  inference by combining exit statistics with a hardware profile,
+* :mod:`repro.dynamics.controller` -- a confidence-threshold runtime exit
+  controller that relaxes the ideal-input-mapping assumption (extension).
+"""
+
+from .accuracy import AccuracyModel
+from .samples import ExitStatistics, compute_exit_statistics
+from .inference import DynamicInferenceResult, simulate_dynamic_inference
+from .controller import ControllerResult, ThresholdExitController
+
+__all__ = [
+    "AccuracyModel",
+    "ExitStatistics",
+    "compute_exit_statistics",
+    "DynamicInferenceResult",
+    "simulate_dynamic_inference",
+    "ControllerResult",
+    "ThresholdExitController",
+]

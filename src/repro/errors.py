@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Map-and-Conquer reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to discriminate configuration problems from search failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class PartitionError(ConfigurationError):
+    """A partitioning matrix ``P`` or indicator matrix ``I`` is malformed."""
+
+
+class MappingError(ConfigurationError):
+    """A stage-to-compute-unit mapping vector ``M`` is invalid."""
+
+
+class PlatformError(ConfigurationError):
+    """An MPSoC platform description is inconsistent (e.g. unknown CU)."""
+
+
+class ConstraintViolation(ReproError):
+    """A candidate configuration violates a hard search constraint.
+
+    Raised by strict evaluation paths; the evolutionary search itself filters
+    violating candidates instead of raising.
+    """
+
+
+class SearchError(ReproError):
+    """The optimisation loop was configured or driven incorrectly."""
+
+
+class PredictionError(ReproError):
+    """A surrogate predictor was used before being fitted, or on bad input."""

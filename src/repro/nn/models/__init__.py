@@ -1,0 +1,22 @@
+"""Model zoo: symbolic builders for the architectures evaluated in the paper.
+
+The paper validates Map-and-Conquer on two architectures on CIFAR-100:
+
+* **Visformer** (Chen et al., ICCV 2021) -- a vision-friendly transformer
+  mixing convolutional early stages and attention/MLP later stages; built by
+  :func:`visformer`.
+* **VGG19** (Simonyan & Zisserman, ICLR 2015) -- a deep plain CNN; built by
+  :func:`vgg19`.
+
+A ResNet-style builder is provided as an extension model for examples and
+ablations.  All builders return a :class:`~repro.nn.graph.NetworkGraph` whose
+layer chain is the sequence of partitionable layers, with normalisation /
+activation / pooling folded into the adjoining layer descriptors.
+"""
+
+from .visformer import visformer
+from .vgg import vgg19
+from .resnet import resnet20
+from .registry import MODEL_BUILDERS, build_model
+
+__all__ = ["visformer", "vgg19", "resnet20", "MODEL_BUILDERS", "build_model"]

@@ -1,0 +1,41 @@
+"""Model registry: look up model builders by name.
+
+Keeping the registry separate from the builders avoids import cycles and
+gives the CLI-style entry points (examples, benchmarks) a single place to
+resolve ``--model visformer`` style arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ...errors import ConfigurationError
+from ..graph import NetworkGraph
+from .resnet import resnet20
+from .vgg import vgg19
+from .visformer import visformer
+
+__all__ = ["MODEL_BUILDERS", "build_model"]
+
+#: Mapping from model name to its builder function.
+MODEL_BUILDERS: Dict[str, Callable[..., NetworkGraph]] = {
+    "visformer": visformer,
+    "vgg19": vgg19,
+    "resnet20": resnet20,
+}
+
+
+def build_model(name: str, **kwargs) -> NetworkGraph:
+    """Build the model called ``name`` with builder keyword arguments.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``name`` is not a registered model.
+    """
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_BUILDERS))
+        raise ConfigurationError(f"unknown model {name!r}; available models: {known}") from None
+    return builder(**kwargs)

@@ -1,0 +1,72 @@
+"""ResNet-20 builder (extension model, not part of the paper's evaluation).
+
+ResNet-20 is the classic CIFAR-scale residual network.  It is included as a
+third architecture to exercise the public API on a model family with residual
+connections folded into per-layer overheads; the examples and ablation
+benches use it to show the framework generalises beyond the two architectures
+reported in the paper.
+"""
+
+from __future__ import annotations
+
+from ..graph import NetworkGraph
+from ..layers import Conv2dLayer, LinearLayer
+
+__all__ = ["resnet20"]
+
+
+def resnet20(
+    num_classes: int = 100,
+    image_size: int = 32,
+    base_accuracy: float = 0.68,
+) -> NetworkGraph:
+    """Build a ResNet-20 network graph (3 groups of 3 basic blocks)."""
+    if image_size % 4 != 0:
+        raise ValueError(f"image_size must be divisible by 4, got {image_size}")
+
+    layers = [
+        Conv2dLayer(
+            name="stem",
+            width=16,
+            in_width=3,
+            kernel_size=3,
+            stride=1,
+            in_spatial=(image_size, image_size),
+            out_spatial=(image_size, image_size),
+            fused_overhead=1.05,
+        )
+    ]
+    group_channels = (16, 32, 64)
+    spatial = image_size
+    in_channels = 16
+    for group_index, channels in enumerate(group_channels, start=1):
+        for block_index in range(1, 4):
+            downsample = group_index > 1 and block_index == 1
+            in_spatial = spatial
+            if downsample:
+                spatial //= 2
+            for conv_index in (1, 2):
+                stride = 2 if downsample and conv_index == 1 else 1
+                layers.append(
+                    Conv2dLayer(
+                        name=f"group{group_index}.block{block_index}.conv{conv_index}",
+                        width=channels,
+                        in_width=in_channels,
+                        kernel_size=3,
+                        stride=stride,
+                        in_spatial=(in_spatial if conv_index == 1 else spatial,) * 2,
+                        out_spatial=(spatial, spatial),
+                        # Residual additions and shortcut projections folded in.
+                        fused_overhead=1.12,
+                    )
+                )
+                in_channels = channels
+    layers.append(LinearLayer(name="head", width=num_classes, in_width=64, tokens=1))
+    return NetworkGraph(
+        name="resnet20",
+        layers=tuple(layers),
+        input_shape=(3, image_size, image_size),
+        num_classes=num_classes,
+        base_accuracy=base_accuracy,
+        family="cnn",
+    )

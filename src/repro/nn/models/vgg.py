@@ -1,0 +1,79 @@
+"""VGG19 builder (CNN-based architecture used in the paper).
+
+VGG19 on CIFAR-100 follows the standard 16-convolution / 3-fully-connected
+configuration with max-pooling after each convolutional block.  Pooling is
+folded into the layer chain by halving the spatial size of the layer *after*
+each pooling point, which is how the analytical FLOP and feature-map sizes are
+derived.  The classifier is the usual 512-512-classes stack used for CIFAR
+variants of VGG.
+"""
+
+from __future__ import annotations
+
+from ..graph import NetworkGraph
+from ..layers import Conv2dLayer, LinearLayer
+
+__all__ = ["vgg19"]
+
+#: Baseline top-1 accuracy of VGG19 on CIFAR-100 reported in Table II.
+VGG19_BASE_ACCURACY = 0.8055
+
+#: Standard VGG19 configuration: channel count per conv layer, "M" = max-pool.
+_VGG19_CFG = [
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M",
+    512, 512, 512, 512, "M",
+]
+
+
+def vgg19(
+    num_classes: int = 100,
+    image_size: int = 32,
+    base_accuracy: float = VGG19_BASE_ACCURACY,
+) -> NetworkGraph:
+    """Build the VGG19 network graph used for the CNN generalisation study."""
+    if image_size % 32 != 0:
+        raise ValueError(f"image_size must be divisible by 32, got {image_size}")
+
+    layers = []
+    in_channels = 3
+    spatial = image_size
+    conv_index = 0
+    for item in _VGG19_CFG:
+        if item == "M":
+            spatial //= 2
+            continue
+        out_channels = int(item)
+        conv_index += 1
+        layers.append(
+            Conv2dLayer(
+                name=f"conv{conv_index}",
+                width=out_channels,
+                in_width=in_channels,
+                kernel_size=3,
+                stride=1,
+                in_spatial=(spatial, spatial),
+                out_spatial=(spatial, spatial),
+                fused_overhead=1.05,
+            )
+        )
+        in_channels = out_channels
+    # After the final pool the feature map is 1x1x512 for 32x32 inputs, so the
+    # classifier operates on 512-dimensional vectors.
+    layers.extend(
+        [
+            LinearLayer(name="fc1", width=512, in_width=512, tokens=1, fused_overhead=1.02),
+            LinearLayer(name="fc2", width=512, in_width=512, tokens=1, fused_overhead=1.02),
+            LinearLayer(name="fc3", width=num_classes, in_width=512, tokens=1),
+        ]
+    )
+    return NetworkGraph(
+        name="vgg19",
+        layers=tuple(layers),
+        input_shape=(3, image_size, image_size),
+        num_classes=num_classes,
+        base_accuracy=base_accuracy,
+        family="cnn",
+    )

@@ -1,0 +1,198 @@
+"""Visformer builder (ViT-based architecture used in the paper).
+
+The layer chain follows the Visformer design of convolutional early stages
+followed by transformer stages, scaled to CIFAR-100's 32x32 inputs.  The
+absolute channel counts follow the Visformer-Tiny configuration (96 / 192 /
+384 embedding widths, MLP expansion 4, head dimension 32); token counts are
+derived from the CIFAR-sized spatial resolution at each stage.
+
+The builder only produces a *symbolic* description -- enough to drive the
+hardware cost and accuracy models -- not an executable network.
+"""
+
+from __future__ import annotations
+
+from ..graph import NetworkGraph
+from ..layers import AttentionLayer, Conv2dLayer, FeedForwardLayer, LinearLayer
+
+__all__ = ["visformer"]
+
+#: Baseline top-1 accuracy of Visformer on CIFAR-100 reported in Table II.
+VISFORMER_BASE_ACCURACY = 0.8809
+
+
+def visformer(
+    num_classes: int = 100,
+    image_size: int = 32,
+    base_accuracy: float = VISFORMER_BASE_ACCURACY,
+) -> NetworkGraph:
+    """Build the Visformer network graph used throughout the paper.
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes (100 for CIFAR-100).
+    image_size:
+        Square input resolution; CIFAR-100 uses 32.
+    base_accuracy:
+        Baseline accuracy of the pretrained model (``Acc_base`` in Eq. 16).
+    """
+    if image_size % 8 != 0:
+        raise ValueError(f"image_size must be divisible by 8, got {image_size}")
+
+    stage1_hw = image_size // 2
+    stage2_hw = image_size // 4
+    stage3_hw = image_size // 8
+    stage2_tokens = stage2_hw * stage2_hw
+    stage3_tokens = stage3_hw * stage3_hw
+
+    layers = [
+        # Convolutional stem: 3 -> 32 channels at full resolution.
+        Conv2dLayer(
+            name="stem",
+            width=32,
+            in_width=3,
+            kernel_size=3,
+            stride=1,
+            in_spatial=(image_size, image_size),
+            out_spatial=(image_size, image_size),
+            fused_overhead=1.05,
+        ),
+        # Patch embedding into stage 1 (downsample x2, 96 channels).
+        Conv2dLayer(
+            name="embed1",
+            width=96,
+            in_width=32,
+            kernel_size=2,
+            stride=2,
+            in_spatial=(image_size, image_size),
+            out_spatial=(stage1_hw, stage1_hw),
+            fused_overhead=1.05,
+        ),
+        # Stage 1: convolutional Visformer blocks.
+        Conv2dLayer(
+            name="stage1.block1",
+            width=96,
+            in_width=96,
+            kernel_size=3,
+            stride=1,
+            in_spatial=(stage1_hw, stage1_hw),
+            out_spatial=(stage1_hw, stage1_hw),
+            groups=8,
+            fused_overhead=1.10,
+        ),
+        Conv2dLayer(
+            name="stage1.block2",
+            width=96,
+            in_width=96,
+            kernel_size=3,
+            stride=1,
+            in_spatial=(stage1_hw, stage1_hw),
+            out_spatial=(stage1_hw, stage1_hw),
+            groups=8,
+            fused_overhead=1.10,
+        ),
+        # Patch embedding into stage 2 (downsample x2, 192 channels).
+        Conv2dLayer(
+            name="embed2",
+            width=192,
+            in_width=96,
+            kernel_size=2,
+            stride=2,
+            in_spatial=(stage1_hw, stage1_hw),
+            out_spatial=(stage2_hw, stage2_hw),
+            fused_overhead=1.05,
+        ),
+        # Stage 2: attention + MLP blocks, 6 heads of 32 channels each.
+        AttentionLayer(
+            name="stage2.attn1",
+            width=192,
+            in_width=192,
+            tokens=stage2_tokens,
+            num_heads=6,
+            fused_overhead=1.10,
+        ),
+        FeedForwardLayer(
+            name="stage2.mlp1",
+            width=192,
+            in_width=192,
+            tokens=stage2_tokens,
+            expansion=4.0,
+            fused_overhead=1.05,
+        ),
+        AttentionLayer(
+            name="stage2.attn2",
+            width=192,
+            in_width=192,
+            tokens=stage2_tokens,
+            num_heads=6,
+            fused_overhead=1.10,
+        ),
+        FeedForwardLayer(
+            name="stage2.mlp2",
+            width=192,
+            in_width=192,
+            tokens=stage2_tokens,
+            expansion=4.0,
+            fused_overhead=1.05,
+        ),
+        # Patch embedding into stage 3 (downsample x2, 384 channels).
+        Conv2dLayer(
+            name="embed3",
+            width=384,
+            in_width=192,
+            kernel_size=2,
+            stride=2,
+            in_spatial=(stage2_hw, stage2_hw),
+            out_spatial=(stage3_hw, stage3_hw),
+            fused_overhead=1.05,
+        ),
+        # Stage 3: attention + MLP blocks, 12 heads of 32 channels each.
+        AttentionLayer(
+            name="stage3.attn1",
+            width=384,
+            in_width=384,
+            tokens=stage3_tokens,
+            num_heads=12,
+            fused_overhead=1.10,
+        ),
+        FeedForwardLayer(
+            name="stage3.mlp1",
+            width=384,
+            in_width=384,
+            tokens=stage3_tokens,
+            expansion=4.0,
+            fused_overhead=1.05,
+        ),
+        AttentionLayer(
+            name="stage3.attn2",
+            width=384,
+            in_width=384,
+            tokens=stage3_tokens,
+            num_heads=12,
+            fused_overhead=1.10,
+        ),
+        FeedForwardLayer(
+            name="stage3.mlp2",
+            width=384,
+            in_width=384,
+            tokens=stage3_tokens,
+            expansion=4.0,
+            fused_overhead=1.05,
+        ),
+        # Classification head on globally pooled features.
+        LinearLayer(
+            name="head",
+            width=num_classes,
+            in_width=384,
+            tokens=1,
+        ),
+    ]
+    return NetworkGraph(
+        name="visformer",
+        layers=tuple(layers),
+        input_shape=(3, image_size, image_size),
+        num_classes=num_classes,
+        base_accuracy=base_accuracy,
+        family="vit",
+    )

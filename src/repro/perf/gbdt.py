@@ -1,0 +1,208 @@
+"""Gradient-boosted regression trees, implemented from scratch with numpy.
+
+The paper trains an XGBoost surrogate on a benchmarked dataset of layer
+specifications, deployment hardware and DVFS settings (Sect. V-E).  Since no
+third-party boosting library is available offline, this module implements the
+same model class: an ensemble of shallow CART regression trees fitted to the
+residuals of a squared-error objective with shrinkage (learning rate) and
+optional row subsampling.  The implementation favours clarity over raw speed;
+the surrogate-training datasets used in this reproduction are a few thousand
+rows, for which exact greedy splitting is more than fast enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import PredictionError
+from ..utils import as_rng
+
+__all__ = ["RegressionTree", "GradientBoostedTrees"]
+
+
+@dataclass
+class _TreeNode:
+    """One node of a regression tree (leaf when ``feature`` is ``None``)."""
+
+    value: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class RegressionTree:
+    """A CART regression tree with exact greedy splits on squared error."""
+
+    def __init__(self, max_depth: int = 4, min_samples_leaf: int = 5) -> None:
+        if max_depth < 1:
+            raise PredictionError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise PredictionError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._root: Optional[_TreeNode] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RegressionTree":
+        """Fit the tree to ``features`` (n x d) and ``targets`` (n,)."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2 or targets.ndim != 1 or features.shape[0] != targets.shape[0]:
+            raise PredictionError("features must be (n, d) and targets (n,) with matching n")
+        if features.shape[0] == 0:
+            raise PredictionError("cannot fit a tree on an empty dataset")
+        self._root = self._grow(features, targets, depth=0)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features`` (n x d)."""
+        if self._root is None:
+            raise PredictionError("RegressionTree.predict called before fit")
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise PredictionError("features must be a 2-D array")
+        return np.array([self._predict_row(row) for row in features], dtype=float)
+
+    # -- internals --------------------------------------------------------------
+    def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int) -> _TreeNode:
+        node = _TreeNode(value=float(targets.mean()))
+        if depth >= self.max_depth or targets.size < 2 * self.min_samples_leaf:
+            return node
+        split = self._best_split(features, targets)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], targets[mask], depth + 1)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    def _best_split(self, features: np.ndarray, targets: np.ndarray):
+        best_gain = 1e-12
+        best = None
+        total_sum = targets.sum()
+        total_count = targets.size
+        parent_score = total_sum * total_sum / total_count
+        for feature in range(features.shape[1]):
+            order = np.argsort(features[:, feature], kind="stable")
+            sorted_values = features[order, feature]
+            sorted_targets = targets[order]
+            cumulative = np.cumsum(sorted_targets)
+            # Candidate split after position k keeps k+1 samples on the left.
+            for k in range(self.min_samples_leaf - 1, total_count - self.min_samples_leaf):
+                if sorted_values[k] == sorted_values[k + 1]:
+                    continue
+                left_count = k + 1
+                right_count = total_count - left_count
+                left_sum = cumulative[k]
+                right_sum = total_sum - left_sum
+                score = left_sum**2 / left_count + right_sum**2 / right_count
+                gain = score - parent_score
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float((sorted_values[k] + sorted_values[k + 1]) / 2))
+        return best
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+
+class GradientBoostedTrees:
+    """Gradient boosting of regression trees on the squared-error objective.
+
+    Parameters mirror the common XGBoost knobs used for small tabular
+    problems: number of boosting rounds, learning rate (shrinkage), tree
+    depth, minimum leaf size and row subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 120,
+        learning_rate: float = 0.1,
+        max_depth: int = 4,
+        min_samples_leaf: int = 5,
+        subsample: float = 1.0,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise PredictionError(f"n_estimators must be >= 1, got {n_estimators}")
+        if not 0 < learning_rate <= 1:
+            raise PredictionError(f"learning_rate must lie in (0, 1], got {learning_rate}")
+        if not 0 < subsample <= 1:
+            raise PredictionError(f"subsample must lie in (0, 1], got {subsample}")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self._rng = as_rng(seed)
+        self._base_prediction = 0.0
+        self._trees: List[RegressionTree] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return bool(self._trees)
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostedTrees":
+        """Fit the ensemble to ``features`` (n x d) and ``targets`` (n,)."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2 or targets.ndim != 1 or features.shape[0] != targets.shape[0]:
+            raise PredictionError("features must be (n, d) and targets (n,) with matching n")
+        if features.shape[0] == 0:
+            raise PredictionError("cannot fit GBDT on an empty dataset")
+        self._trees = []
+        self._base_prediction = float(targets.mean())
+        predictions = np.full(targets.shape, self._base_prediction)
+        n_rows = features.shape[0]
+        for _ in range(self.n_estimators):
+            residuals = targets - predictions
+            if self.subsample < 1.0:
+                sample_size = max(2 * self.min_samples_leaf, int(round(self.subsample * n_rows)))
+                sample_size = min(sample_size, n_rows)
+                rows = self._rng.choice(n_rows, size=sample_size, replace=False)
+            else:
+                rows = np.arange(n_rows)
+            tree = RegressionTree(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            )
+            tree.fit(features[rows], residuals[rows])
+            update = tree.predict(features)
+            predictions = predictions + self.learning_rate * update
+            self._trees.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features`` (n x d)."""
+        if not self.is_fitted:
+            raise PredictionError("GradientBoostedTrees.predict called before fit")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[None, :]
+        predictions = np.full(features.shape[0], self._base_prediction)
+        for tree in self._trees:
+            predictions = predictions + self.learning_rate * tree.predict(features)
+        return predictions
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Coefficient of determination (R^2) on a held-out set."""
+        targets = np.asarray(targets, dtype=float)
+        predictions = self.predict(features)
+        residual = float(np.sum((targets - predictions) ** 2))
+        total = float(np.sum((targets - targets.mean()) ** 2))
+        if total == 0:
+            return 1.0 if residual == 0 else 0.0
+        return 1.0 - residual / total

@@ -1,0 +1,113 @@
+"""Learned latency/energy surrogate used inside the search loop (Sect. V-E).
+
+The evolutionary search evaluates thousands of candidate mappings; the paper
+avoids measuring each one on the board by training an XGBoost predictor on a
+layer-wise benchmark dataset and querying it during the search.  This module
+provides the equivalent :class:`SurrogateCostModel`: two gradient-boosted
+tree ensembles (one for latency, one for energy) over the combined
+layer/hardware/DVFS feature vector, trained in log space so the wide dynamic
+range of energies is fitted multiplicatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import PredictionError
+from ..soc.compute_unit import ComputeUnit
+from ..soc.platform import Platform
+from .dataset import BenchmarkDataset, encode_features, generate_benchmark_dataset
+from .gbdt import GradientBoostedTrees
+from .layer_cost import LayerWorkload
+
+__all__ = ["SurrogateCostModel", "train_surrogate"]
+
+#: Floor applied to surrogate outputs so downstream models never see zero or
+#: negative latencies/energies caused by extrapolation.
+_PREDICTION_FLOOR = 1e-6
+
+
+@dataclass
+class SurrogateCostModel:
+    """A trained latency/energy predictor implementing the CostModel protocol."""
+
+    latency_model: GradientBoostedTrees
+    energy_model: GradientBoostedTrees
+
+    def __post_init__(self) -> None:
+        if not self.latency_model.is_fitted or not self.energy_model.is_fitted:
+            raise PredictionError("SurrogateCostModel requires fitted latency and energy models")
+
+    def latency_ms(self, workload: LayerWorkload, unit: ComputeUnit, scale: float) -> float:
+        """Predicted latency in milliseconds."""
+        features = encode_features(workload, unit, scale)[None, :]
+        value = float(np.expm1(self.latency_model.predict(features)[0]))
+        return max(_PREDICTION_FLOOR, value)
+
+    def energy_mj(self, workload: LayerWorkload, unit: ComputeUnit, scale: float) -> float:
+        """Predicted energy in millijoules."""
+        features = encode_features(workload, unit, scale)[None, :]
+        value = float(np.expm1(self.energy_model.predict(features)[0]))
+        return max(_PREDICTION_FLOOR, value)
+
+    def evaluate(self, dataset: BenchmarkDataset) -> dict:
+        """Prediction quality on a held-out dataset.
+
+        Returns R^2 (in log space, as trained) and the mean absolute
+        percentage error in linear space for both targets.
+        """
+        latency_log = np.log1p(dataset.latencies_ms)
+        energy_log = np.log1p(dataset.energies_mj)
+        latency_pred = np.expm1(self.latency_model.predict(dataset.features))
+        energy_pred = np.expm1(self.energy_model.predict(dataset.features))
+        return {
+            "latency_r2": self.latency_model.score(dataset.features, latency_log),
+            "energy_r2": self.energy_model.score(dataset.features, energy_log),
+            "latency_mape": float(
+                np.mean(np.abs(latency_pred - dataset.latencies_ms) / dataset.latencies_ms)
+            ),
+            "energy_mape": float(
+                np.mean(np.abs(energy_pred - dataset.energies_mj) / dataset.energies_mj)
+            ),
+        }
+
+
+def train_surrogate(
+    platform: Platform,
+    dataset: Optional[BenchmarkDataset] = None,
+    num_samples: int = 2000,
+    n_estimators: int = 120,
+    max_depth: int = 5,
+    learning_rate: float = 0.1,
+    seed: int = 0,
+) -> SurrogateCostModel:
+    """Train a :class:`SurrogateCostModel` for ``platform``.
+
+    Parameters
+    ----------
+    platform:
+        Target MPSoC; used to generate the benchmark dataset when ``dataset``
+        is not supplied.
+    dataset:
+        Pre-generated benchmark dataset (e.g. with a specific noise level).
+    num_samples, n_estimators, max_depth, learning_rate, seed:
+        Dataset size and GBDT hyper-parameters.
+    """
+    if dataset is None:
+        dataset = generate_benchmark_dataset(platform, num_samples=num_samples, seed=seed)
+    latency_model = GradientBoostedTrees(
+        n_estimators=n_estimators,
+        learning_rate=learning_rate,
+        max_depth=max_depth,
+        seed=seed,
+    ).fit(dataset.features, np.log1p(dataset.latencies_ms))
+    energy_model = GradientBoostedTrees(
+        n_estimators=n_estimators,
+        learning_rate=learning_rate,
+        max_depth=max_depth,
+        seed=seed + 1,
+    ).fit(dataset.features, np.log1p(dataset.energies_mj))
+    return SurrogateCostModel(latency_model=latency_model, energy_model=energy_model)

@@ -1,0 +1,53 @@
+"""Optimisation framework (Sect. IV and V of the paper).
+
+The search jointly optimises the configuration ``Pi = (P, I, M, theta)``:
+
+* :mod:`repro.search.space` -- the :class:`MappingConfig` encoding of ``Pi``
+  and the :class:`SearchSpace` that samples it (Sect. V-A),
+* :mod:`repro.search.evaluation` -- the evaluation pipeline turning a
+  configuration into hardware + dynamic-inference metrics (Fig. 5's
+  "Evaluate" box),
+* :mod:`repro.search.objectives` -- the composite objective of Eq. 16 and
+  latency/energy-oriented scalarisations,
+* :mod:`repro.search.constraints` -- the constraint filter of Eq. 15,
+* :mod:`repro.search.operators` -- mutation and crossover,
+* :mod:`repro.search.pareto` -- non-dominated sorting and Pareto selection,
+* :mod:`repro.search.evolutionary` -- the evolutionary loop with elite
+  selection,
+* :mod:`repro.search.baselines` -- GPU-only / DLA-only / static-partitioned /
+  random-search baselines used by Fig. 1 and Table II.
+"""
+
+from .space import MappingConfig, SearchSpace
+from .evaluation import ConfigEvaluator, EvaluatedConfig
+from .objectives import energy_oriented_objective, latency_oriented_objective, paper_objective
+from .constraints import SearchConstraints
+from .operators import crossover, mutate
+from .pareto import pareto_front, select_energy_oriented, select_latency_oriented
+from .evolutionary import EvolutionarySearch, SearchResult
+from .baselines import (
+    random_search,
+    single_unit_baseline,
+    static_partitioned_baseline,
+)
+
+__all__ = [
+    "MappingConfig",
+    "SearchSpace",
+    "ConfigEvaluator",
+    "EvaluatedConfig",
+    "paper_objective",
+    "energy_oriented_objective",
+    "latency_oriented_objective",
+    "SearchConstraints",
+    "mutate",
+    "crossover",
+    "pareto_front",
+    "select_energy_oriented",
+    "select_latency_oriented",
+    "EvolutionarySearch",
+    "SearchResult",
+    "single_unit_baseline",
+    "static_partitioned_baseline",
+    "random_search",
+]

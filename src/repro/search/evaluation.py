@@ -1,0 +1,201 @@
+"""Candidate evaluation pipeline (the "Evaluate" box of Fig. 5).
+
+For every sampled configuration ``Pi`` the framework must:
+
+1. partition and reorder the network according to ``P`` and the channel
+   ranking, and attach exits (:mod:`repro.nn`),
+2. characterise the concurrent execution on the chosen units / DVFS points
+   (:mod:`repro.perf`),
+3. simulate the dynamic inference to obtain exit statistics, accuracy and
+   average latency/energy (:mod:`repro.dynamics`).
+
+:class:`ConfigEvaluator` wires those steps behind a single ``evaluate`` call
+and caches results by configuration so the evolutionary loop never pays twice
+for elites carried across generations.  The per-layer cost model is pluggable
+(analytical oracle or trained surrogate), mirroring the paper's use of an
+XGBoost predictor inside the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..dynamics.accuracy import AccuracyModel
+from ..dynamics.inference import DynamicInferenceResult, simulate_dynamic_inference
+from ..dynamics.samples import DEFAULT_VALIDATION_SAMPLES
+from ..nn.channels import ChannelRanking, rank_channels
+from ..nn.graph import NetworkGraph
+from ..nn.multiexit import DynamicNetwork, build_dynamic_network
+from ..perf.evaluator import HardwareProfile, MappingEvaluator
+from ..perf.layer_cost import CostModel
+from ..soc.platform import Platform
+from .space import MappingConfig
+
+__all__ = ["EvaluatedConfig", "ConfigEvaluator"]
+
+
+@dataclass(frozen=True, eq=False)
+class EvaluatedConfig:
+    """A configuration together with everything the search needs to rank it.
+
+    Equality is identity: the evaluator caches by configuration, so two
+    references to the same evaluated configuration are the same object, and
+    membership tests (``config in pareto_set``) compare identities instead of
+    trying to compare the nested numpy matrices element-wise.
+    """
+
+    config: MappingConfig
+    dynamic_network: DynamicNetwork
+    profile: HardwareProfile
+    inference: DynamicInferenceResult
+
+    # -- convenience accessors used by objectives, constraints and reports -------
+    @property
+    def accuracy(self) -> float:
+        """Top-1 accuracy of the dynamic cascade."""
+        return self.inference.accuracy
+
+    @property
+    def latency_ms(self) -> float:
+        """Average per-sample latency under dynamic inference."""
+        return self.inference.expected_latency_ms
+
+    @property
+    def energy_mj(self) -> float:
+        """Average per-sample energy under dynamic inference."""
+        return self.inference.expected_energy_mj
+
+    @property
+    def worst_case_latency_ms(self) -> float:
+        """Latency when every stage is instantiated (Eq. 13)."""
+        return self.inference.worst_case_latency_ms
+
+    @property
+    def worst_case_energy_mj(self) -> float:
+        """Energy when every stage is instantiated (Eq. 14, M' = M)."""
+        return self.inference.worst_case_energy_mj
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of forwardable feature maps reused."""
+        return self.inference.reuse_fraction
+
+    @property
+    def stored_feature_bytes(self) -> int:
+        """Shared-memory footprint of forwarded features."""
+        return self.inference.stored_feature_bytes
+
+    @property
+    def accuracy_drop(self) -> float:
+        """Accuracy drop relative to the pretrained baseline (can be negative)."""
+        return self.dynamic_network.network.base_accuracy - self.accuracy
+
+    def summary_row(self) -> dict:
+        """Flat dictionary used by the report tables."""
+        return {
+            "mapping": self.config.describe(),
+            "accuracy_pct": 100.0 * self.accuracy,
+            "avg_energy_mj": self.energy_mj,
+            "avg_latency_ms": self.latency_ms,
+            "reuse_pct": 100.0 * self.reuse_fraction,
+        }
+
+
+def _config_key(config: MappingConfig) -> Tuple:
+    """Hashable identity of a configuration for evaluation caching."""
+    return (
+        config.partition.values.tobytes(),
+        config.indicator.values.tobytes(),
+        config.unit_names,
+        config.dvfs_indices,
+    )
+
+
+class ConfigEvaluator:
+    """Evaluate mapping configurations for one network on one platform.
+
+    Parameters
+    ----------
+    network:
+        The pretrained network being transformed and mapped.
+    platform:
+        Target MPSoC.
+    cost_model:
+        Per-layer latency/energy model; ``None`` selects the analytical
+        oracle.  Pass a trained :class:`~repro.perf.predictor.SurrogateCostModel`
+        to reproduce the paper's surrogate-in-the-loop setup.
+    accuracy_model:
+        Coverage-to-accuracy model; ``None`` selects the calibrated default.
+    ranking:
+        Channel-importance ranking; ``None`` synthesises one from ``seed``.
+    reorder_channels:
+        Whether to apply the Sect. V-D importance reordering (the ablation
+        benches disable it).
+    validation_samples:
+        Validation-set size for the exit statistics.
+    """
+
+    def __init__(
+        self,
+        network: NetworkGraph,
+        platform: Platform,
+        cost_model: Optional[CostModel] = None,
+        accuracy_model: Optional[AccuracyModel] = None,
+        ranking: Optional[ChannelRanking] = None,
+        reorder_channels: bool = True,
+        validation_samples: int = DEFAULT_VALIDATION_SAMPLES,
+        seed: int = 0,
+    ) -> None:
+        self.network = network
+        self.platform = platform
+        self.accuracy_model = accuracy_model if accuracy_model is not None else AccuracyModel()
+        self.ranking = ranking if ranking is not None else rank_channels(network, seed=seed)
+        self.reorder_channels = reorder_channels
+        self.validation_samples = int(validation_samples)
+        self._mapping_evaluator = MappingEvaluator(platform, cost_model=cost_model)
+        self._cache: Dict[Tuple, EvaluatedConfig] = {}
+
+    @property
+    def evaluations(self) -> int:
+        """Number of distinct configurations evaluated so far."""
+        return len(self._cache)
+
+    def evaluate(self, config: MappingConfig) -> EvaluatedConfig:
+        """Run the full pipeline for ``config`` (cached)."""
+        key = _config_key(config)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        dynamic_network = build_dynamic_network(
+            self.network,
+            partition=config.partition,
+            indicator=config.indicator,
+            ranking=self.ranking,
+            reorder=self.reorder_channels,
+        )
+        profile = self._mapping_evaluator.profile(
+            dynamic_network,
+            unit_names=config.unit_names,
+            dvfs_indices=config.dvfs_indices,
+        )
+        inference = simulate_dynamic_inference(
+            dynamic_network,
+            profile,
+            accuracy_model=self.accuracy_model,
+            validation_samples=self.validation_samples,
+        )
+        evaluated = EvaluatedConfig(
+            config=config,
+            dynamic_network=dynamic_network,
+            profile=profile,
+            inference=inference,
+        )
+        self._cache[key] = evaluated
+        return evaluated
+
+    def evaluate_many(self, configs) -> list:
+        """Evaluate a whole population, preserving order."""
+        return [self.evaluate(config) for config in configs]

@@ -1,0 +1,188 @@
+"""Evolutionary search loop with constraint filtering and elite selection.
+
+The loop follows the workflow of Fig. 5: every generation, the current
+population is evaluated (through the pluggable hardware/accuracy pipeline),
+candidates violating the hard constraints are filtered out, the survivors are
+ranked by the objective, and an elite subset seeds the next generation via
+crossover and mutation, topped up with fresh random samples to preserve
+diversity.  When the budget expires, the Pareto set over *all* evaluated
+configurations is computed (Sect. V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SearchError
+from ..utils import as_rng
+from .constraints import SearchConstraints
+from .evaluation import ConfigEvaluator, EvaluatedConfig
+from .objectives import paper_objective
+from .operators import crossover, mutate
+from .pareto import pareto_front
+from .space import MappingConfig, SearchSpace
+
+__all__ = ["GenerationStats", "SearchResult", "EvolutionarySearch"]
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """Aggregate statistics of one generation, for convergence analysis."""
+
+    generation: int
+    evaluated: int
+    feasible: int
+    best_objective: float
+    best_latency_ms: float
+    best_energy_mj: float
+    best_accuracy: float
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Everything the search produced."""
+
+    history: Tuple[EvaluatedConfig, ...]
+    feasible: Tuple[EvaluatedConfig, ...]
+    pareto: Tuple[EvaluatedConfig, ...]
+    best: EvaluatedConfig
+    generations: Tuple[GenerationStats, ...]
+
+    @property
+    def num_evaluations(self) -> int:
+        """Total number of distinct configurations evaluated."""
+        return len(self.history)
+
+
+class EvolutionarySearch:
+    """Evolutionary optimisation of mapping configurations (Fig. 5).
+
+    Parameters
+    ----------
+    space:
+        The search space to sample and vary.
+    evaluator:
+        Evaluation pipeline producing :class:`EvaluatedConfig` instances.
+    objective:
+        Scalar objective to minimise; defaults to the paper's Eq. 16.
+    constraints:
+        Hard constraint filter; infeasible candidates are never selected as
+        elites (but are kept in the history for analysis).
+    population_size, generations:
+        Search budget; the paper uses 60 x 200 (= 12 K evaluations).
+    elite_fraction:
+        Fraction of the feasible population carried over and used as parents.
+    mutation_rate:
+        Probability that an offspring is mutated after crossover.
+    fresh_fraction:
+        Fraction of every new population drawn uniformly at random.
+    seed:
+        Seed for all stochastic decisions.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        evaluator: ConfigEvaluator,
+        objective: Callable[[EvaluatedConfig], float] = paper_objective,
+        constraints: Optional[SearchConstraints] = None,
+        population_size: int = 60,
+        generations: int = 200,
+        elite_fraction: float = 0.25,
+        mutation_rate: float = 0.8,
+        fresh_fraction: float = 0.10,
+        seed: int = 0,
+    ) -> None:
+        if population_size < 2:
+            raise SearchError(f"population_size must be >= 2, got {population_size}")
+        if generations < 1:
+            raise SearchError(f"generations must be >= 1, got {generations}")
+        if not 0 < elite_fraction <= 1:
+            raise SearchError(f"elite_fraction must lie in (0, 1], got {elite_fraction}")
+        if not 0 <= mutation_rate <= 1:
+            raise SearchError(f"mutation_rate must lie in [0, 1], got {mutation_rate}")
+        if not 0 <= fresh_fraction < 1:
+            raise SearchError(f"fresh_fraction must lie in [0, 1), got {fresh_fraction}")
+        self.space = space
+        self.evaluator = evaluator
+        self.objective = objective
+        self.constraints = constraints if constraints is not None else SearchConstraints()
+        self.population_size = population_size
+        self.generations = generations
+        self.elite_fraction = elite_fraction
+        self.mutation_rate = mutation_rate
+        self.fresh_fraction = fresh_fraction
+        self._rng = as_rng(seed)
+
+    # -- public API ---------------------------------------------------------------
+    def run(self) -> SearchResult:
+        """Run the full search and return its result."""
+        population = self.space.population(self.population_size, self._rng)
+        history: List[EvaluatedConfig] = []
+        seen_keys = set()
+        stats: List[GenerationStats] = []
+
+        for generation in range(self.generations):
+            evaluated = self.evaluator.evaluate_many(population)
+            for item in evaluated:
+                key = id(item)
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    history.append(item)
+            feasible = [
+                item
+                for item in evaluated
+                if self.constraints.is_feasible(item, platform=self.space.platform)
+            ]
+            ranked_pool = feasible if feasible else evaluated
+            ranked = sorted(ranked_pool, key=self.objective)
+            best = ranked[0]
+            stats.append(
+                GenerationStats(
+                    generation=generation,
+                    evaluated=len(evaluated),
+                    feasible=len(feasible),
+                    best_objective=float(self.objective(best)),
+                    best_latency_ms=best.latency_ms,
+                    best_energy_mj=best.energy_mj,
+                    best_accuracy=best.accuracy,
+                )
+            )
+            if generation + 1 < self.generations:
+                population = self._next_population(ranked)
+
+        all_feasible = tuple(
+            item
+            for item in history
+            if self.constraints.is_feasible(item, platform=self.space.platform)
+        )
+        candidate_pool = all_feasible if all_feasible else tuple(history)
+        front = tuple(pareto_front(list(candidate_pool)))
+        best_overall = min(candidate_pool, key=self.objective)
+        return SearchResult(
+            history=tuple(history),
+            feasible=all_feasible,
+            pareto=front,
+            best=best_overall,
+            generations=tuple(stats),
+        )
+
+    # -- internals ------------------------------------------------------------------
+    def _next_population(self, ranked: List[EvaluatedConfig]) -> List[MappingConfig]:
+        elite_count = max(1, int(round(self.elite_fraction * len(ranked))))
+        elites = [item.config for item in ranked[:elite_count]]
+        fresh_count = int(round(self.fresh_fraction * self.population_size))
+        population: List[MappingConfig] = list(elites)
+        while len(population) < self.population_size - fresh_count:
+            parent_a = elites[int(self._rng.integers(0, len(elites)))]
+            parent_b = elites[int(self._rng.integers(0, len(elites)))]
+            child = crossover(parent_a, parent_b, self.space, self._rng)
+            if self._rng.random() < self.mutation_rate:
+                child = mutate(child, self.space, self._rng)
+            population.append(child)
+        while len(population) < self.population_size:
+            population.append(self.space.sample(self._rng))
+        return population

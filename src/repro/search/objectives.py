@@ -1,0 +1,61 @@
+"""Search objectives (Sect. V-B).
+
+The paper's composite objective (Eq. 16) rewards configurations whose early
+stages absorb many samples cheaply while keeping the final-stage accuracy
+close to the pretrained baseline:
+
+    P = (Acc_base / Acc_SM) * (sum_i T_{S_i} * N_i) * (sum_i E_{S_{1:i}} * N_i)
+
+where ``N_i`` is the number of validation samples first classified correctly
+at stage ``i``, ``T_{S_i}`` the stage latency (Eq. 9) and ``E_{S_{1:i}}`` the
+cumulative energy of instantiating the first ``i`` stages (Eq. 14).  Smaller
+is better.  Two additional scalarisations -- latency-oriented and
+energy-oriented -- are provided for selecting the "Ours-L" and "Ours-E"
+models of Table II from a Pareto set.
+"""
+
+from __future__ import annotations
+
+from .evaluation import EvaluatedConfig
+
+__all__ = [
+    "paper_objective",
+    "latency_oriented_objective",
+    "energy_oriented_objective",
+]
+
+#: Numerical floor preventing division by a zero final-stage accuracy.
+_MIN_ACCURACY = 1e-3
+
+
+def paper_objective(evaluated: EvaluatedConfig) -> float:
+    """Composite objective of Eq. 16 (lower is better)."""
+    accuracy = max(_MIN_ACCURACY, evaluated.accuracy)
+    accuracy_term = evaluated.dynamic_network.network.base_accuracy / accuracy
+    statistics = evaluated.inference.exit_statistics
+    profile = evaluated.profile
+    latency_term = 0.0
+    energy_term = 0.0
+    for stage_index, count in enumerate(statistics.correct_counts):
+        latency_term += profile.stage_latency_ms(stage_index) * count
+        energy_term += profile.cumulative_energy_mj(stage_index) * count
+    # A degenerate configuration that classifies nothing correctly produces
+    # zero latency/energy terms; give it the worst possible score instead of
+    # an artificially perfect one.
+    if latency_term == 0.0 or energy_term == 0.0:
+        return float("inf")
+    return accuracy_term * latency_term * energy_term
+
+
+def latency_oriented_objective(evaluated: EvaluatedConfig) -> float:
+    """Average latency penalised by accuracy loss (used to pick "Ours-L")."""
+    accuracy = max(_MIN_ACCURACY, evaluated.accuracy)
+    accuracy_term = evaluated.dynamic_network.network.base_accuracy / accuracy
+    return evaluated.latency_ms * accuracy_term
+
+
+def energy_oriented_objective(evaluated: EvaluatedConfig) -> float:
+    """Average energy penalised by accuracy loss (used to pick "Ours-E")."""
+    accuracy = max(_MIN_ACCURACY, evaluated.accuracy)
+    accuracy_term = evaluated.dynamic_network.network.base_accuracy / accuracy
+    return evaluated.energy_mj * accuracy_term

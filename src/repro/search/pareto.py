@@ -1,0 +1,92 @@
+"""Pareto analysis of evaluated configurations.
+
+Once the search budget expires, the paper computes a Pareto set over all
+generated populations and extracts the preferred dynamic mapping from it
+(Sect. V-C); Table II then reports the most latency-oriented ("Ours-L") and
+most energy-oriented ("Ours-E") Pareto models.  This module provides the
+non-dominated sorting over the (latency, energy, accuracy) objectives and the
+two selection rules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..errors import SearchError
+from .evaluation import EvaluatedConfig
+from .objectives import energy_oriented_objective, latency_oriented_objective
+
+__all__ = [
+    "dominates",
+    "pareto_front",
+    "select_latency_oriented",
+    "select_energy_oriented",
+]
+
+#: Default objective extractors: minimise latency and energy, maximise accuracy.
+_DEFAULT_KEYS: Sequence[Callable[[EvaluatedConfig], float]] = (
+    lambda e: e.latency_ms,
+    lambda e: e.energy_mj,
+    lambda e: -e.accuracy,
+)
+
+
+def dominates(
+    first: EvaluatedConfig,
+    second: EvaluatedConfig,
+    keys: Sequence[Callable[[EvaluatedConfig], float]] = _DEFAULT_KEYS,
+) -> bool:
+    """Whether ``first`` Pareto-dominates ``second`` (all keys minimised)."""
+    first_values = [key(first) for key in keys]
+    second_values = [key(second) for key in keys]
+    no_worse = all(a <= b for a, b in zip(first_values, second_values))
+    strictly_better = any(a < b for a, b in zip(first_values, second_values))
+    return no_worse and strictly_better
+
+
+def pareto_front(
+    evaluated: Sequence[EvaluatedConfig],
+    keys: Sequence[Callable[[EvaluatedConfig], float]] = _DEFAULT_KEYS,
+) -> list:
+    """Non-dominated subset of ``evaluated`` under the given objectives."""
+    front = []
+    for candidate in evaluated:
+        if any(dominates(other, candidate, keys) for other in evaluated if other is not candidate):
+            continue
+        front.append(candidate)
+    return front
+
+
+def _filter_by_accuracy_drop(
+    evaluated: Sequence[EvaluatedConfig], max_accuracy_drop: Optional[float]
+) -> list:
+    if max_accuracy_drop is None:
+        return list(evaluated)
+    kept = [e for e in evaluated if e.accuracy_drop <= max_accuracy_drop + 1e-9]
+    # If nothing satisfies the accuracy gate, fall back to the most accurate
+    # candidates rather than failing -- matching how the paper always reports
+    # a model per scenario even when hard constraints cost accuracy.
+    if not kept:
+        best_drop = min(e.accuracy_drop for e in evaluated)
+        kept = [e for e in evaluated if e.accuracy_drop <= best_drop + 1e-9]
+    return kept
+
+
+def select_latency_oriented(
+    evaluated: Sequence[EvaluatedConfig], max_accuracy_drop: Optional[float] = None
+) -> EvaluatedConfig:
+    """Pick the "Ours-L" model: lowest latency subject to the accuracy gate."""
+    if not evaluated:
+        raise SearchError("cannot select from an empty set of configurations")
+    candidates = _filter_by_accuracy_drop(evaluated, max_accuracy_drop)
+    return min(candidates, key=latency_oriented_objective)
+
+
+def select_energy_oriented(
+    evaluated: Sequence[EvaluatedConfig], max_accuracy_drop: Optional[float] = None
+) -> EvaluatedConfig:
+    """Pick the "Ours-E" model: lowest energy subject to the accuracy gate."""
+    if not evaluated:
+        raise SearchError("cannot select from an empty set of configurations")
+    candidates = _filter_by_accuracy_drop(evaluated, max_accuracy_drop)
+    return min(candidates, key=energy_oriented_objective)

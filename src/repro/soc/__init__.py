@@ -1,0 +1,34 @@
+"""Heterogeneous MPSoC hardware model.
+
+The paper deploys on the NVIDIA Jetson AGX Xavier: a single die combining a
+Volta GPU, two deep-learning accelerators (DLAs) and a CPU cluster, all
+sharing LPDDR4x system memory.  This subpackage models exactly the properties
+the mapping framework consumes:
+
+* :mod:`repro.soc.dvfs` -- discrete DVFS operating points and the linear
+  power model of Eq. 10 (``P = alpha + beta * theta``),
+* :mod:`repro.soc.compute_unit` -- per-CU compute throughput, memory
+  bandwidth, kernel-launch overheads and layer-type utilisation factors,
+* :mod:`repro.soc.interconnect` -- shared-memory transfer cost between CUs,
+* :mod:`repro.soc.memory` -- the shared DRAM pool bounding stored features,
+* :mod:`repro.soc.platform` -- the :class:`Platform` container and the
+  calibrated :func:`jetson_agx_xavier` factory.
+"""
+
+from .dvfs import DvfsTable, OperatingPoint, PowerModel
+from .compute_unit import ComputeUnit, ComputeUnitKind
+from .interconnect import Interconnect
+from .memory import SharedMemory
+from .platform import Platform, jetson_agx_xavier
+
+__all__ = [
+    "OperatingPoint",
+    "DvfsTable",
+    "PowerModel",
+    "ComputeUnit",
+    "ComputeUnitKind",
+    "Interconnect",
+    "SharedMemory",
+    "Platform",
+    "jetson_agx_xavier",
+]

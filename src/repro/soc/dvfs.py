@@ -1,0 +1,129 @@
+"""DVFS operating points and the linear power model of Eq. 10.
+
+Each compute unit supports a discrete set of frequency/voltage operating
+points (on the Xavier these are exposed through ``nvpmodel`` / ``jetson_clocks``).
+The paper abstracts an operating point into a *scaling factor* ``theta`` in
+``(0, 1]`` -- the frequency normalised to the unit's maximum -- and models the
+unit's power as
+
+    P_m = P_s + P_d(theta) ~= alpha + beta * theta            (Eq. 10)
+
+with ``alpha`` the static component and ``beta`` the dynamic coefficient.
+Execution latency of a compute-bound kernel scales as ``1 / theta``, which is
+how the scaling factor enters the cost model in :mod:`repro.perf.layer_cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils import check_non_negative, check_positive
+
+__all__ = ["OperatingPoint", "DvfsTable", "PowerModel"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A single DVFS operating point of a compute unit."""
+
+    frequency_mhz: float
+    voltage_mv: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.frequency_mhz, "frequency_mhz")
+        check_non_negative(self.voltage_mv, "voltage_mv")
+
+
+@dataclass(frozen=True)
+class DvfsTable:
+    """Ordered collection of the operating points a compute unit supports."""
+
+    points: Tuple[OperatingPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError("a DVFS table needs at least one operating point")
+        points = tuple(self.points)
+        frequencies = [point.frequency_mhz for point in points]
+        if sorted(frequencies) != frequencies:
+            raise ConfigurationError("operating points must be sorted by increasing frequency")
+        if len(set(frequencies)) != len(frequencies):
+            raise ConfigurationError("operating points must have distinct frequencies")
+        object.__setattr__(self, "points", points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index: int) -> OperatingPoint:
+        return self.points[index]
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        """Highest supported frequency."""
+        return self.points[-1].frequency_mhz
+
+    def scale(self, index: int) -> float:
+        """Scaling factor ``theta`` of operating point ``index`` (in ``(0, 1]``)."""
+        if not 0 <= index < len(self.points):
+            raise ConfigurationError(
+                f"operating-point index {index} out of range [0, {len(self.points)})"
+            )
+        return self.points[index].frequency_mhz / self.max_frequency_mhz
+
+    def scales(self) -> Tuple[float, ...]:
+        """Scaling factors of every operating point, in table order."""
+        return tuple(point.frequency_mhz / self.max_frequency_mhz for point in self.points)
+
+    @classmethod
+    def from_frequencies(cls, frequencies_mhz: Sequence[float]) -> "DvfsTable":
+        """Build a table from a plain list of frequencies (sorted ascending)."""
+        ordered = sorted(float(f) for f in frequencies_mhz)
+        return cls(tuple(OperatingPoint(frequency_mhz=f) for f in ordered))
+
+    @classmethod
+    def linspace(cls, minimum_mhz: float, maximum_mhz: float, count: int) -> "DvfsTable":
+        """Evenly spaced table of ``count`` points between two frequencies."""
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        if minimum_mhz <= 0 or maximum_mhz < minimum_mhz:
+            raise ConfigurationError("need 0 < minimum_mhz <= maximum_mhz")
+        frequencies = np.linspace(minimum_mhz, maximum_mhz, count)
+        return cls.from_frequencies(frequencies.tolist())
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Linear power model ``P(theta) = alpha + beta * theta`` (Eq. 10)."""
+
+    static_w: float
+    dynamic_w: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.static_w, "static_w")
+        check_non_negative(self.dynamic_w, "dynamic_w")
+        if self.static_w == 0 and self.dynamic_w == 0:
+            raise ConfigurationError("power model cannot be identically zero")
+
+    def power_w(self, scale: float) -> float:
+        """Power draw (watts) at scaling factor ``scale``."""
+        if not 0 < scale <= 1:
+            raise ConfigurationError(f"scale must lie in (0, 1], got {scale}")
+        return self.static_w + self.dynamic_w * scale
+
+    @property
+    def max_power_w(self) -> float:
+        """Power draw at the highest operating point (``theta = 1``)."""
+        return self.static_w + self.dynamic_w
+
+    def energy_mj(self, latency_ms: float, scale: float) -> float:
+        """Energy (millijoules) spent running for ``latency_ms`` at ``scale``.
+
+        With power in watts and latency in milliseconds the product is
+        directly in millijoules, matching the units of Table II.
+        """
+        check_non_negative(latency_ms, "latency_ms")
+        return latency_ms * self.power_w(scale)

@@ -1,0 +1,49 @@
+"""Shared system memory of the MPSoC.
+
+The Xavier's compute units share one LPDDR4x pool.  The search constraint
+``size(F, I) < M`` of Eq. 15 bounds the intermediate feature maps that must
+stay resident for the duration of a dynamic inference (everything a stage may
+still need if it gets instantiated, see Fig. 4).  :class:`SharedMemory`
+tracks that budget; the full 32 GB of the board is not the relevant number --
+the budget models the fraction of DRAM the deployment is allowed to pin for
+inter-stage features alongside weights, runtime engines and the rest of the
+system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..utils import check_positive
+
+__all__ = ["SharedMemory"]
+
+
+@dataclass(frozen=True)
+class SharedMemory:
+    """Shared DRAM pool with a budget for resident inter-stage features."""
+
+    capacity_bytes: int
+    feature_budget_bytes: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacity_bytes, "capacity_bytes")
+        check_positive(self.feature_budget_bytes, "feature_budget_bytes")
+        if self.feature_budget_bytes > self.capacity_bytes:
+            raise ConfigurationError(
+                "feature_budget_bytes cannot exceed capacity_bytes "
+                f"({self.feature_budget_bytes} > {self.capacity_bytes})"
+            )
+
+    def fits(self, stored_feature_bytes: int) -> bool:
+        """Whether a deployment's resident features fit in the budget."""
+        if stored_feature_bytes < 0:
+            raise ConfigurationError("stored_feature_bytes must be >= 0")
+        return stored_feature_bytes <= self.feature_budget_bytes
+
+    def utilisation(self, stored_feature_bytes: int) -> float:
+        """Fraction of the feature budget a deployment consumes."""
+        if stored_feature_bytes < 0:
+            raise ConfigurationError("stored_feature_bytes must be >= 0")
+        return stored_feature_bytes / self.feature_budget_bytes

@@ -1,0 +1,112 @@
+"""Unit tests for the MapAndConquer facade and the report helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import MapAndConquer
+from repro.core.report import comparison_row, format_table, table2_row
+from repro.errors import ConfigurationError
+from repro.search.constraints import SearchConstraints
+
+
+@pytest.fixture(scope="module")
+def tiny_framework():
+    from repro.nn.graph import NetworkGraph
+    from repro.nn.layers import AttentionLayer, Conv2dLayer, FeedForwardLayer, LinearLayer
+    from repro.soc.platform import jetson_agx_xavier
+
+    layers = (
+        Conv2dLayer(
+            name="conv1", width=16, in_width=3, kernel_size=3, stride=1,
+            in_spatial=(8, 8), out_spatial=(8, 8),
+        ),
+        AttentionLayer(name="attn", width=32, in_width=16, tokens=16, num_heads=4),
+        FeedForwardLayer(name="mlp", width=32, in_width=32, tokens=16, expansion=2.0),
+        LinearLayer(name="head", width=10, in_width=32, tokens=1),
+    )
+    network = NetworkGraph(
+        name="tiny", layers=layers, input_shape=(3, 8, 8), num_classes=10,
+        base_accuracy=0.9, family="vit",
+    )
+    return MapAndConquer(network, jetson_agx_xavier(), seed=0)
+
+
+class TestMapAndConquer:
+    def test_default_platform_is_xavier(self, tiny_framework):
+        assert tiny_framework.platform.name == "jetson-agx-xavier"
+        assert tiny_framework.space.num_stages == 3
+
+    def test_sample_and_evaluate(self, tiny_framework):
+        config = tiny_framework.sample(seed=1)
+        evaluated = tiny_framework.evaluate(config)
+        assert evaluated.latency_ms > 0
+        assert evaluated.energy_mj > 0
+
+    def test_baselines(self, tiny_framework):
+        gpu = tiny_framework.baseline("gpu")
+        dla = tiny_framework.baseline("dla0")
+        static = tiny_framework.static_baseline()
+        assert gpu.latency_ms < dla.latency_ms
+        assert dla.energy_mj < gpu.energy_mj
+        assert static.config.num_stages == 3
+
+    def test_search_and_selection(self, tiny_framework):
+        result = tiny_framework.search(generations=4, population_size=10)
+        assert result.num_evaluations >= 10
+        energy_pick = tiny_framework.select_energy_oriented(result.pareto)
+        latency_pick = tiny_framework.select_latency_oriented(result.pareto)
+        assert energy_pick.energy_mj <= latency_pick.energy_mj + 1e-9
+        assert latency_pick.latency_ms <= energy_pick.latency_ms + 1e-9
+        front = tiny_framework.pareto(result.history)
+        assert front
+
+    def test_search_with_constraints(self, tiny_framework):
+        result = tiny_framework.search(
+            generations=3,
+            population_size=8,
+            constraints=SearchConstraints(max_reuse_fraction=0.5),
+        )
+        assert all(item.reuse_fraction <= 0.5 + 1e-9 for item in result.feasible)
+
+    def test_reuse_cap_in_constructor(self):
+        from repro.nn.models import visformer
+        framework = MapAndConquer(visformer(), max_reuse_fraction=0.5, seed=0)
+        config = framework.sample(seed=0)
+        assert config.reuse_fraction() <= 0.5 + 1e-9
+
+    def test_cost_model_and_surrogate_mutually_exclusive(self):
+        from repro.nn.models import visformer
+        from repro.perf.layer_cost import AnalyticalCostModel
+
+        with pytest.raises(ConfigurationError):
+            MapAndConquer(visformer(), cost_model=AnalyticalCostModel(), use_surrogate=True)
+
+
+class TestReport:
+    def test_format_table_alignment_and_content(self, tiny_framework):
+        gpu = tiny_framework.baseline("gpu")
+        rows = [table2_row("None", "GPU", gpu, use_worst_case=True)]
+        text = format_table(rows)
+        assert "TOP-1 Acc (%)" in text
+        assert "GPU" in text
+        assert len(text.splitlines()) == 3
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_table2_row_worst_case_switch(self, tiny_framework):
+        config = tiny_framework.sample(seed=2)
+        evaluated = tiny_framework.evaluate(config)
+        dynamic_row = table2_row("Ours", "dyn", evaluated, use_worst_case=False)
+        static_row = table2_row("Ours", "dyn", evaluated, use_worst_case=True)
+        assert dynamic_row["Avg. Lat. (ms)"] <= static_row["Avg. Lat. (ms)"] + 1e-9
+        assert dynamic_row["Avg. Enrg. (mJ)"] <= static_row["Avg. Enrg. (mJ)"] + 1e-9
+
+    def test_comparison_row_ratios(self, tiny_framework):
+        gpu = tiny_framework.baseline("gpu")
+        dla = tiny_framework.baseline("dla0")
+        row = comparison_row("dla", reference=gpu, candidate=dla)
+        assert row["speedup_x"] == pytest.approx(gpu.latency_ms / dla.latency_ms)
+        assert row["energy_gain_x"] == pytest.approx(gpu.energy_mj / dla.energy_mj)
+        assert row["energy_gain_x"] > 1.0

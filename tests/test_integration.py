@@ -1,0 +1,159 @@
+"""Integration tests: the full pipeline at Visformer / VGG19 scale.
+
+These tests reproduce -- at reduced search budgets -- the qualitative claims
+of the paper that the benchmark harness then measures in full:
+
+* the GPU-only mapping is fast but energy-hungry, the DLA-only mapping is
+  slow but efficient (Fig. 1 left),
+* Map-and-Conquer's dynamic mappings gain energy over GPU-only and latency
+  over DLA-only while keeping accuracy close to the baseline (Fig. 6),
+* the 50 % feature-reuse constraint costs accuracy (Fig. 6 right),
+* the search also works with the learned surrogate in the loop (Sect. V-E).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import MapAndConquer
+from repro.nn.models import vgg19, visformer
+from repro.search.constraints import SearchConstraints
+from repro.soc.platform import jetson_agx_xavier
+
+
+@pytest.fixture(scope="module")
+def visformer_framework():
+    return MapAndConquer(visformer(), jetson_agx_xavier(), seed=0)
+
+
+@pytest.fixture(scope="module")
+def visformer_search(visformer_framework):
+    return visformer_framework.search(generations=10, population_size=20, seed=0)
+
+
+class TestBaselineShape:
+    def test_gpu_fast_but_hungry_dla_slow_but_frugal(self, visformer_framework):
+        gpu = visformer_framework.baseline("gpu")
+        dla = visformer_framework.baseline("dla0")
+        assert gpu.latency_ms < dla.latency_ms / 3  # GPU several times faster
+        assert dla.energy_mj < gpu.energy_mj / 2  # DLA several times cheaper
+        assert gpu.accuracy == pytest.approx(0.8809, abs=1e-4)
+
+    def test_two_dlas_are_symmetric(self, visformer_framework):
+        dla0 = visformer_framework.baseline("dla0")
+        dla1 = visformer_framework.baseline("dla1")
+        assert dla0.latency_ms == pytest.approx(dla1.latency_ms)
+        assert dla0.energy_mj == pytest.approx(dla1.energy_mj)
+
+    def test_static_partitioning_beats_both_deficient_metrics(self, visformer_framework):
+        gpu = visformer_framework.baseline("gpu")
+        dla = visformer_framework.baseline("dla0")
+        static = visformer_framework.static_baseline()
+        # Fig. 1: the static distributed mapping improves on DLA-only latency
+        # and on GPU-only energy simultaneously.
+        assert static.worst_case_latency_ms < dla.latency_ms
+        assert static.worst_case_energy_mj < gpu.energy_mj
+
+
+class TestSearchClaims:
+    def test_dynamic_mapping_gains_energy_over_gpu(self, visformer_framework, visformer_search):
+        gpu = visformer_framework.baseline("gpu")
+        best_energy = visformer_framework.select_energy_oriented(
+            visformer_search.pareto, max_accuracy_drop=0.02
+        )
+        # The paper reports up to ~2.1x; the idealised exit model makes the
+        # reproduction at least as favourable.
+        assert gpu.energy_mj / best_energy.energy_mj > 2.0
+        assert best_energy.accuracy > 0.84
+
+    def test_dynamic_mapping_speeds_up_dla(self, visformer_framework, visformer_search):
+        dla = visformer_framework.baseline("dla0")
+        best_latency = visformer_framework.select_latency_oriented(
+            visformer_search.pareto, max_accuracy_drop=0.02
+        )
+        # The paper reports up to ~1.7x less latency than DLA-only.
+        assert dla.latency_ms / best_latency.latency_ms > 1.7
+
+    def test_accuracy_stays_close_to_baseline(self, visformer_search, visformer_framework):
+        best = visformer_framework.select_energy_oriented(
+            visformer_search.pareto, max_accuracy_drop=0.02
+        )
+        assert best.accuracy_drop < 0.04
+
+    def test_reuse_constraint_costs_accuracy(self, visformer_framework):
+        unconstrained = visformer_framework.search(
+            generations=6, population_size=16, seed=1
+        )
+        constrained_framework = MapAndConquer(
+            visformer(), jetson_agx_xavier(), max_reuse_fraction=0.5, seed=0
+        )
+        constrained = constrained_framework.search(
+            generations=6,
+            population_size=16,
+            constraints=SearchConstraints(max_reuse_fraction=0.5),
+            seed=1,
+        )
+        best_unconstrained = max(item.accuracy for item in unconstrained.pareto)
+        best_constrained = max(item.accuracy for item in constrained.pareto)
+        assert best_constrained <= best_unconstrained + 1e-9
+
+    def test_pareto_front_spans_latency_energy_tradeoff(self, visformer_search):
+        front = visformer_search.pareto
+        assert len(front) >= 2
+        latencies = [item.latency_ms for item in front]
+        energies = [item.energy_mj for item in front]
+        assert max(latencies) > min(latencies)
+        assert max(energies) > min(energies)
+
+
+class TestVGG19Generalisation:
+    @pytest.fixture(scope="class")
+    def vgg_framework(self):
+        return MapAndConquer(vgg19(), jetson_agx_xavier(), seed=0)
+
+    def test_vgg_baselines_match_paper_shape(self, vgg_framework):
+        gpu = vgg_framework.baseline("gpu")
+        dla = vgg_framework.baseline("dla0")
+        # VGG19 burns several times more energy on the GPU than Visformer and
+        # is much slower on the DLA -- the premise of Sect. VI-D.
+        assert gpu.energy_mj > 300
+        assert dla.latency_ms > 60
+        assert gpu.accuracy == pytest.approx(0.8055, abs=1e-4)
+
+    def test_vgg_search_exploits_redundancy(self, vgg_framework):
+        result = vgg_framework.search(generations=8, population_size=16, seed=0)
+        gpu = vgg_framework.baseline("gpu")
+        dla = vgg_framework.baseline("dla0")
+        best_energy = vgg_framework.select_energy_oriented(result.pareto, max_accuracy_drop=0.02)
+        best_latency = vgg_framework.select_latency_oriented(result.pareto, max_accuracy_drop=0.02)
+        # Sect. VI-D reports up to ~4.6x energy gain and ~4.4x speedup.
+        assert gpu.energy_mj / best_energy.energy_mj > 3.0
+        assert dla.latency_ms / best_latency.latency_ms > 3.0
+        # Dynamic VGG variants can exceed the pretrained baseline accuracy.
+        assert best_energy.accuracy > 0.80
+
+    def test_vgg_early_exit_fraction_is_high(self, vgg_framework):
+        result = vgg_framework.search(generations=6, population_size=12, seed=2)
+        best = vgg_framework.select_energy_oriented(result.pareto, max_accuracy_drop=0.02)
+        # "more than 80% of samples were correctly classified in earlier stages"
+        assert best.inference.exit_statistics.early_exit_fraction > 0.6
+
+
+class TestSurrogateInTheLoop:
+    def test_search_with_surrogate_agrees_with_oracle(self):
+        oracle_framework = MapAndConquer(visformer(), jetson_agx_xavier(), seed=0)
+        surrogate_framework = MapAndConquer(
+            visformer(),
+            jetson_agx_xavier(),
+            use_surrogate=True,
+            surrogate_samples=400,
+            seed=0,
+        )
+        config = oracle_framework.sample(seed=7)
+        oracle_eval = oracle_framework.evaluate(config)
+        surrogate_eval = surrogate_framework.evaluate(config)
+        # The surrogate should land within a factor of two of the oracle on
+        # both metrics (the paper relies on far tighter XGBoost fits; our
+        # GBDT with a small dataset is intentionally cheap).
+        assert surrogate_eval.latency_ms == pytest.approx(oracle_eval.latency_ms, rel=1.0)
+        assert surrogate_eval.energy_mj == pytest.approx(oracle_eval.energy_mj, rel=1.0)

@@ -1,0 +1,165 @@
+"""Unit tests for the network graph container and the model zoo builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Conv2dLayer, LinearLayer
+from repro.nn.models import MODEL_BUILDERS, build_model, resnet20, vgg19, visformer
+
+
+def _conv(name, in_width, width, spatial=8):
+    return Conv2dLayer(
+        name=name,
+        width=width,
+        in_width=in_width,
+        kernel_size=3,
+        stride=1,
+        in_spatial=(spatial, spatial),
+        out_spatial=(spatial, spatial),
+    )
+
+
+class TestNetworkGraph:
+    def test_len_iter_getitem(self, tiny_network):
+        assert len(tiny_network) == 4
+        assert [layer.name for layer in tiny_network] == ["conv1", "attn", "mlp", "head"]
+        assert tiny_network[0].name == "conv1"
+
+    def test_widths_and_names(self, tiny_network):
+        assert tiny_network.widths == (16, 32, 32, 10)
+        assert tiny_network.layer_names == ("conv1", "attn", "mlp", "head")
+
+    def test_layer_index(self, tiny_network):
+        assert tiny_network.layer_index("mlp") == 2
+        with pytest.raises(KeyError):
+            tiny_network.layer_index("missing")
+
+    def test_totals_are_sums_of_layers(self, tiny_network):
+        assert tiny_network.total_flops() == pytest.approx(
+            sum(layer.flops() for layer in tiny_network)
+        )
+        assert tiny_network.total_params() == pytest.approx(
+            sum(layer.params() for layer in tiny_network)
+        )
+        assert tiny_network.total_feature_bytes() == sum(
+            layer.output_bytes() for layer in tiny_network
+        )
+
+    def test_summary_mentions_every_layer(self, tiny_network):
+        text = tiny_network.summary()
+        for layer in tiny_network:
+            assert layer.name in text
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkGraph(name="empty", layers=())
+
+    def test_mismatched_chain_rejected(self):
+        layers = (_conv("a", 3, 16), _conv("b", 32, 32))
+        with pytest.raises(ConfigurationError):
+            NetworkGraph(name="bad", layers=layers)
+
+    def test_duplicate_layer_names_rejected(self):
+        layers = (_conv("a", 3, 16), _conv("a", 16, 16))
+        with pytest.raises(ConfigurationError):
+            NetworkGraph(name="bad", layers=layers)
+
+    def test_invalid_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkGraph(name="bad", layers=(_conv("a", 3, 16),), family="rnn")
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkGraph(name="bad", layers=(_conv("a", 3, 16),), base_accuracy=1.5)
+
+    def test_invalid_num_classes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkGraph(name="bad", layers=(_conv("a", 3, 16),), num_classes=1)
+
+
+class TestVisformer:
+    def test_chain_is_consistent(self, visformer_net):
+        for previous, current in zip(visformer_net.layers, visformer_net.layers[1:]):
+            assert current.in_width == previous.width
+
+    def test_family_and_accuracy(self, visformer_net):
+        assert visformer_net.family == "vit"
+        assert visformer_net.base_accuracy == pytest.approx(0.8809)
+        assert visformer_net.num_classes == 100
+
+    def test_contains_attention_and_conv_stages(self, visformer_net):
+        kinds = {layer.kind for layer in visformer_net}
+        assert {"conv2d", "attention", "feedforward", "linear"} <= kinds
+
+    def test_flops_in_expected_range(self, visformer_net):
+        gflops = visformer_net.total_flops() / 1e9
+        assert 0.1 < gflops < 1.0
+
+    def test_head_is_classifier(self, visformer_net):
+        head = visformer_net.layers[-1]
+        assert head.width == visformer_net.num_classes
+
+    def test_image_size_must_divide_by_eight(self):
+        with pytest.raises(ValueError):
+            visformer(image_size=30)
+
+    def test_custom_num_classes(self):
+        net = visformer(num_classes=10)
+        assert net.layers[-1].width == 10
+
+
+class TestVGG19:
+    def test_has_sixteen_convolutions(self, vgg19_net):
+        convs = [layer for layer in vgg19_net if layer.kind == "conv2d"]
+        assert len(convs) == 16
+
+    def test_has_three_linear_layers(self, vgg19_net):
+        fcs = [layer for layer in vgg19_net if layer.kind == "linear"]
+        assert len(fcs) == 3
+
+    def test_family_and_accuracy(self, vgg19_net):
+        assert vgg19_net.family == "cnn"
+        assert vgg19_net.base_accuracy == pytest.approx(0.8055)
+
+    def test_flops_larger_than_visformer(self, vgg19_net, visformer_net):
+        assert vgg19_net.total_flops() > visformer_net.total_flops()
+
+    def test_spatial_downsampling_applied(self, vgg19_net):
+        first = vgg19_net.layers[0]
+        last_conv = [layer for layer in vgg19_net if layer.kind == "conv2d"][-1]
+        assert first.out_spatial == (32, 32)
+        assert last_conv.out_spatial == (2, 2)
+
+    def test_image_size_must_divide_by_32(self):
+        with pytest.raises(ValueError):
+            vgg19(image_size=48)
+
+
+class TestResNet20:
+    def test_chain_is_consistent(self, resnet_net):
+        for previous, current in zip(resnet_net.layers, resnet_net.layers[1:]):
+            assert current.in_width == previous.width
+
+    def test_depth(self, resnet_net):
+        convs = [layer for layer in resnet_net if layer.kind == "conv2d"]
+        assert len(convs) == 19  # stem + 18 block convolutions
+
+    def test_family(self, resnet_net):
+        assert resnet_net.family == "cnn"
+
+
+class TestRegistry:
+    def test_all_builders_registered(self):
+        assert set(MODEL_BUILDERS) == {"visformer", "vgg19", "resnet20"}
+
+    def test_build_model_dispatches(self):
+        net = build_model("visformer", num_classes=10)
+        assert net.name == "visformer"
+        assert net.num_classes == 10
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_model("alexnet")

@@ -1,0 +1,140 @@
+"""Unit tests for the static-to-dynamic multi-exit transformation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.multiexit import build_dynamic_network
+from repro.nn.partition import IndicatorMatrix, PartitionMatrix
+
+
+def build(network, ranking, num_stages=3, reuse=True, reorder=True):
+    num_layers = 3
+    indicator = (
+        IndicatorMatrix.full(num_stages, num_layers)
+        if reuse
+        else IndicatorMatrix.none(num_stages, num_layers)
+    )
+    if reuse:
+        values = indicator.values.copy()
+        values[-1, :] = 0
+        indicator = IndicatorMatrix(values)
+    return build_dynamic_network(
+        network,
+        partition=PartitionMatrix.uniform(num_stages, num_layers),
+        indicator=indicator,
+        ranking=ranking,
+        reorder=reorder,
+    )
+
+
+class TestDynamicNetworkStructure:
+    def test_number_of_stages_and_sublayers(self, tiny_dynamic):
+        assert tiny_dynamic.num_stages == 3
+        assert tiny_dynamic.num_layers == 3
+        for stage in tiny_dynamic.stages:
+            assert stage.num_sublayers == 3
+
+    def test_sublayer_names_qualified(self, tiny_dynamic):
+        names = [sub.name for sub in tiny_dynamic.stages[0].sublayers]
+        assert names == ["conv1@stage0", "attn@stage0", "mlp@stage0"]
+
+    def test_exit_heads_classify_to_num_classes(self, tiny_dynamic, tiny_network):
+        for stage in tiny_dynamic.stages:
+            assert stage.exit_head.width == tiny_network.num_classes
+
+    def test_exit_head_input_grows_with_stage(self, tiny_dynamic):
+        widths = [stage.exit_head.in_width for stage in tiny_dynamic.stages]
+        assert widths[0] <= widths[1] <= widths[2]
+
+    def test_stage_flops_include_exit_head(self, tiny_dynamic):
+        stage = tiny_dynamic.stages[0]
+        sub_total = sum(sub.flops() for sub in stage.sublayers)
+        assert stage.flops() == pytest.approx(sub_total + stage.exit_head.flops())
+
+    def test_imported_bytes_zero_for_first_stage(self, tiny_dynamic):
+        assert tiny_dynamic.stages[0].imported_bytes() == 0
+        assert tiny_dynamic.stages[2].imported_bytes() > 0
+
+    def test_total_flops_through_is_cumulative(self, tiny_dynamic):
+        one = tiny_dynamic.total_flops_through(0)
+        two = tiny_dynamic.total_flops_through(1)
+        three = tiny_dynamic.total_flops_through(2)
+        assert one < two < three
+        assert three == pytest.approx(sum(stage.flops() for stage in tiny_dynamic.stages))
+
+    def test_summary_mentions_every_stage(self, tiny_dynamic):
+        text = tiny_dynamic.summary()
+        assert "stage 0" in text and "stage 2" in text
+
+    def test_invalid_stage_index_rejected(self, tiny_dynamic):
+        with pytest.raises(ConfigurationError):
+            tiny_dynamic.total_flops_through(7)
+        with pytest.raises(ConfigurationError):
+            tiny_dynamic.stage_coverage(-1)
+
+
+class TestStageCoverage:
+    def test_coverage_increases_with_stage_under_full_reuse(self, tiny_dynamic):
+        coverages = [tiny_dynamic.stage_coverage(i) for i in range(3)]
+        assert coverages[0] < coverages[1] < coverages[2]
+
+    def test_last_stage_full_coverage_with_full_reuse(self, tiny_dynamic):
+        assert tiny_dynamic.stage_coverage(2) == pytest.approx(1.0, abs=1e-9)
+
+    def test_no_reuse_reduces_late_stage_coverage(self, tiny_network, tiny_ranking):
+        reuse = build(tiny_network, tiny_ranking, reuse=True)
+        isolated = build(tiny_network, tiny_ranking, reuse=False)
+        assert isolated.stage_coverage(2) < reuse.stage_coverage(2)
+
+    def test_reordering_boosts_first_stage_coverage(self, tiny_network, tiny_ranking):
+        ordered = build(tiny_network, tiny_ranking, reorder=True)
+        unordered = build(tiny_network, tiny_ranking, reorder=False)
+        assert ordered.stage_coverage(0) > unordered.stage_coverage(0)
+
+    def test_unordered_coverage_equals_width_fraction(self, tiny_network, tiny_ranking):
+        unordered = build(tiny_network, tiny_ranking, reuse=False, reorder=False)
+        # Uniform split without reuse: each stage sees ~1/3 of every layer.
+        assert unordered.stage_coverage(0) == pytest.approx(1 / 3, abs=0.12)
+
+    def test_coverage_without_ranking_falls_back_to_fractions(self, tiny_network):
+        dynamic = build_dynamic_network(
+            tiny_network,
+            partition=PartitionMatrix.uniform(3, 3),
+            indicator=IndicatorMatrix.none(3, 3),
+            ranking=None,
+        )
+        assert dynamic.reordered is False
+        assert dynamic.stage_coverage(0) == pytest.approx(1 / 3, abs=0.12)
+
+
+class TestReuseAccounting:
+    def test_reuse_fraction_matches_indicator(self, tiny_network, tiny_ranking):
+        dynamic = build(tiny_network, tiny_ranking, reuse=True)
+        assert dynamic.reuse_fraction() == pytest.approx(1.0)
+        isolated = build(tiny_network, tiny_ranking, reuse=False)
+        assert isolated.reuse_fraction() == 0.0
+
+    def test_stored_feature_bytes_consistent_with_scheme(self, tiny_dynamic):
+        assert tiny_dynamic.stored_feature_bytes() == (
+            tiny_dynamic.scheme.stored_feature_bytes()
+        )
+
+
+class TestVisformerDynamic:
+    def test_three_stage_visformer(self, visformer_net, visformer_ranking):
+        num_layers = len(visformer_net) - 1
+        dynamic = build_dynamic_network(
+            visformer_net,
+            partition=PartitionMatrix.uniform(3, num_layers),
+            indicator=IndicatorMatrix.full(3, num_layers),
+            ranking=visformer_ranking,
+        )
+        assert dynamic.num_stages == 3
+        assert dynamic.num_layers == num_layers
+        # Partitioned stages are each cheaper than the full static model.
+        static_flops = visformer_net.total_flops()
+        for stage in dynamic.stages:
+            assert stage.flops() < static_flops

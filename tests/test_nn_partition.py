@@ -1,0 +1,226 @@
+"""Unit tests for the P / I matrices and the channel-splitting arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.nn.partition import (
+    RATIO_CHOICES,
+    IndicatorMatrix,
+    PartitionMatrix,
+    PartitionScheme,
+    backbone_layers,
+    split_units,
+)
+
+
+class TestSplitUnits:
+    def test_even_split(self):
+        assert split_units(96, [1 / 3, 1 / 3, 1 / 3]) == (32, 32, 32)
+
+    def test_shares_sum_to_width(self):
+        for fractions in ([0.5, 0.25, 0.25], [0.7, 0.2, 0.1], [0.9, 0.05, 0.05]):
+            assert sum(split_units(97, fractions)) == 97
+
+    def test_respects_granularity(self):
+        shares = split_units(192, [0.5, 0.3, 0.2], granularity=32)
+        assert sum(shares) == 192
+        assert all(share % 32 == 0 for share in shares)
+
+    def test_minimum_one_granule_per_share(self):
+        shares = split_units(192, [0.98, 0.01, 0.01], granularity=32)
+        assert min(shares) >= 32
+
+    def test_proportionality(self):
+        shares = split_units(100, [0.6, 0.3, 0.1])
+        assert shares == (60, 30, 10)
+
+    def test_too_many_shares_rejected(self):
+        with pytest.raises(PartitionError):
+            split_units(64, [0.25, 0.25, 0.25, 0.25], granularity=32)
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(PartitionError):
+            split_units(100, [0.5, 0.5], granularity=3)
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(PartitionError):
+            split_units(100, [0.5, 0.4])
+        with pytest.raises(PartitionError):
+            split_units(100, [-0.1, 1.1])
+        with pytest.raises(PartitionError):
+            split_units(100, [])
+
+
+class TestPartitionMatrix:
+    def test_uniform(self):
+        matrix = PartitionMatrix.uniform(3, 5)
+        assert matrix.num_stages == 3
+        assert matrix.num_layers == 5
+        np.testing.assert_allclose(matrix.values.sum(axis=0), 1.0)
+
+    def test_from_stage_fractions(self):
+        matrix = PartitionMatrix.from_stage_fractions([0.5, 0.3, 0.2], num_layers=4)
+        assert matrix.fraction(0, 3) == pytest.approx(0.5)
+        assert matrix.fraction(2, 0) == pytest.approx(0.2)
+
+    def test_columns_must_sum_to_one(self):
+        with pytest.raises(PartitionError):
+            PartitionMatrix(np.array([[0.5, 0.5], [0.4, 0.5]]))
+
+    def test_entries_must_be_fractions(self):
+        with pytest.raises(PartitionError):
+            PartitionMatrix(np.array([[1.5, 1.0], [-0.5, 0.0]]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionMatrix(np.zeros((0, 0)))
+
+    def test_ratio_choices_are_eight_fractions(self):
+        assert len(RATIO_CHOICES) == 8
+        assert RATIO_CHOICES[-1] == 1.0
+
+
+class TestIndicatorMatrix:
+    def test_full_and_none_constructors(self):
+        full = IndicatorMatrix.full(3, 4)
+        none = IndicatorMatrix.none(3, 4)
+        assert full.values.sum() == 12
+        assert none.values.sum() == 0
+
+    def test_reuse_fraction_excludes_last_stage(self):
+        values = np.zeros((3, 4), dtype=int)
+        values[0, :] = 1  # first stage forwards everything
+        indicator = IndicatorMatrix(values)
+        assert indicator.reuse_fraction() == pytest.approx(0.5)
+
+    def test_reuse_fraction_single_stage_is_zero(self):
+        assert IndicatorMatrix(np.zeros((1, 4), dtype=int)).reuse_fraction() == 0.0
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(PartitionError):
+            IndicatorMatrix(np.array([[0, 2], [1, 0]]))
+
+    def test_reused_lookup(self):
+        indicator = IndicatorMatrix(np.array([[1, 0], [0, 0]]))
+        assert indicator.reused(0, 0) is True
+        assert indicator.reused(0, 1) is False
+
+
+class TestBackboneLayers:
+    def test_classifier_head_is_stripped(self, tiny_network):
+        backbone = backbone_layers(tiny_network)
+        assert len(backbone) == 3
+        assert backbone[-1].name == "mlp"
+
+    def test_visformer_backbone_excludes_head(self, visformer_net):
+        backbone = backbone_layers(visformer_net)
+        assert len(backbone) == len(visformer_net) - 1
+
+
+class TestPartitionScheme:
+    @pytest.fixture()
+    def scheme(self, tiny_network):
+        partition = PartitionMatrix.uniform(3, 3)
+        indicator_values = np.ones((3, 3), dtype=int)
+        indicator_values[-1, :] = 0
+        return PartitionScheme(
+            network=tiny_network,
+            partition=partition,
+            indicator=IndicatorMatrix(indicator_values),
+        )
+
+    def test_channels_sum_to_layer_widths(self, scheme, tiny_network):
+        backbone = backbone_layers(tiny_network)
+        channels = scheme.channels
+        for layer_index, layer in enumerate(backbone):
+            assert channels[:, layer_index].sum() == layer.width
+
+    def test_attention_respects_head_granularity(self, scheme):
+        # Layer index 1 is the 4-head attention layer (head_dim 8).
+        for stage in range(3):
+            assert scheme.stage_channels(stage, 1) % 8 == 0
+
+    def test_stage_ranges_are_contiguous_partition(self, scheme, tiny_network):
+        backbone = backbone_layers(tiny_network)
+        for layer_index, layer in enumerate(backbone):
+            covered = []
+            for stage in range(3):
+                start, end = scheme.stage_range(stage, layer_index)
+                covered.extend(range(start, end))
+            assert covered == list(range(layer.width))
+
+    def test_first_layer_input_is_model_input(self, scheme, tiny_network):
+        for stage in range(3):
+            assert scheme.available_in_units(stage, 0) == tiny_network[0].in_width
+
+    def test_later_layer_input_includes_reused_channels(self, scheme):
+        # With full reuse, stage 2's input at layer 1 sees all of layer 0.
+        total_layer0 = scheme.channels[:, 0].sum()
+        assert scheme.available_in_units(2, 1) == total_layer0
+
+    def test_no_reuse_limits_input_to_own_channels(self, tiny_network):
+        scheme = PartitionScheme(
+            network=tiny_network,
+            partition=PartitionMatrix.uniform(3, 3),
+            indicator=IndicatorMatrix.none(3, 3),
+        )
+        assert scheme.available_in_units(2, 1) == scheme.stage_channels(2, 0)
+
+    def test_reused_bytes_zero_for_first_stage(self, scheme):
+        for layer in range(3):
+            assert scheme.reused_input_bytes(0, layer) == 0
+
+    def test_reused_bytes_positive_with_reuse(self, scheme):
+        assert scheme.reused_input_bytes(1, 1) > 0
+        assert scheme.reused_input_bytes(2, 1) > scheme.reused_input_bytes(1, 1)
+
+    def test_stored_feature_bytes_zero_without_reuse(self, tiny_network):
+        scheme = PartitionScheme(
+            network=tiny_network,
+            partition=PartitionMatrix.uniform(3, 3),
+            indicator=IndicatorMatrix.none(3, 3),
+        )
+        assert scheme.stored_feature_bytes() == 0
+
+    def test_stage_flops_sum_close_to_static_model(self, tiny_network):
+        # Without reuse the three stages together execute roughly the static
+        # backbone (input widths shrink, so the sum is at most the original).
+        scheme = PartitionScheme(
+            network=tiny_network,
+            partition=PartitionMatrix.uniform(3, 3),
+            indicator=IndicatorMatrix.none(3, 3),
+        )
+        backbone = backbone_layers(tiny_network)
+        static_flops = sum(layer.flops() for layer in backbone)
+        total = sum(scheme.stage_flops(stage) for stage in range(3))
+        assert total <= static_flops * 1.01
+
+    def test_cumulative_width_fraction_bounds(self, scheme):
+        for stage in range(3):
+            for layer in range(3):
+                fraction = scheme.cumulative_width_fraction(stage, layer)
+                assert 0 < fraction <= 1.0
+        assert scheme.cumulative_width_fraction(2, 1) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self, tiny_network):
+        with pytest.raises(PartitionError):
+            PartitionScheme(
+                network=tiny_network,
+                partition=PartitionMatrix.uniform(3, 2),
+                indicator=IndicatorMatrix.none(3, 2),
+            )
+        with pytest.raises(PartitionError):
+            PartitionScheme(
+                network=tiny_network,
+                partition=PartitionMatrix.uniform(3, 3),
+                indicator=IndicatorMatrix.none(2, 3),
+            )
+
+    def test_out_of_range_indices_rejected(self, scheme):
+        with pytest.raises(PartitionError):
+            scheme.stage_flops(5)
+        with pytest.raises(PartitionError):
+            scheme.available_in_units(0, 9)

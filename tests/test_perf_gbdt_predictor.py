@@ -1,0 +1,215 @@
+"""Unit tests for the GBDT implementation, dataset generation and surrogate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PredictionError
+from repro.perf.dataset import BenchmarkDataset, encode_features, generate_benchmark_dataset
+from repro.perf.gbdt import GradientBoostedTrees, RegressionTree
+from repro.perf.layer_cost import AnalyticalCostModel, LayerWorkload
+from repro.perf.predictor import SurrogateCostModel, train_surrogate
+from repro.nn.layers import Conv2dLayer
+
+
+@pytest.fixture(scope="module")
+def synthetic_regression():
+    rng = np.random.default_rng(0)
+    features = rng.uniform(-2, 2, size=(400, 3))
+    targets = (
+        2.0 * features[:, 0]
+        + np.sin(features[:, 1]) * 3.0
+        + (features[:, 2] > 0) * 1.5
+        + rng.normal(0, 0.05, size=400)
+    )
+    return features, targets
+
+
+class TestRegressionTree:
+    def test_fits_piecewise_constant_function(self):
+        features = np.linspace(0, 1, 200)[:, None]
+        targets = (features[:, 0] > 0.5).astype(float)
+        tree = RegressionTree(max_depth=2, min_samples_leaf=5).fit(features, targets)
+        predictions = tree.predict(features)
+        assert np.mean((predictions - targets) ** 2) < 1e-3
+
+    def test_depth_one_is_a_stump(self):
+        features = np.array([[0.0], [1.0], [2.0], [3.0]] * 5)
+        targets = np.array([0.0, 0.0, 10.0, 10.0] * 5)
+        tree = RegressionTree(max_depth=1, min_samples_leaf=2).fit(features, targets)
+        assert set(np.round(tree.predict(features), 6)) <= {0.0, 10.0}
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(PredictionError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(PredictionError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(PredictionError):
+            RegressionTree(min_samples_leaf=0)
+
+    def test_mismatched_shapes_rejected(self):
+        tree = RegressionTree()
+        with pytest.raises(PredictionError):
+            tree.fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_constant_target_yields_constant_prediction(self):
+        features = np.random.default_rng(0).uniform(size=(50, 2))
+        targets = np.full(50, 3.5)
+        tree = RegressionTree().fit(features, targets)
+        assert np.allclose(tree.predict(features), 3.5)
+
+
+class TestGradientBoostedTrees:
+    def test_outperforms_single_tree(self, synthetic_regression):
+        features, targets = synthetic_regression
+        tree = RegressionTree(max_depth=3).fit(features, targets)
+        boosted = GradientBoostedTrees(n_estimators=60, max_depth=3, seed=0).fit(
+            features, targets
+        )
+        tree_mse = np.mean((tree.predict(features) - targets) ** 2)
+        boosted_mse = np.mean((boosted.predict(features) - targets) ** 2)
+        assert boosted_mse < tree_mse
+
+    def test_r2_score_high_on_training_data(self, synthetic_regression):
+        features, targets = synthetic_regression
+        model = GradientBoostedTrees(n_estimators=80, max_depth=3, seed=0).fit(features, targets)
+        assert model.score(features, targets) > 0.95
+
+    def test_generalises_to_held_out_data(self, synthetic_regression):
+        features, targets = synthetic_regression
+        model = GradientBoostedTrees(n_estimators=80, max_depth=3, seed=0).fit(
+            features[:300], targets[:300]
+        )
+        assert model.score(features[300:], targets[300:]) > 0.85
+
+    def test_deterministic_given_seed(self, synthetic_regression):
+        features, targets = synthetic_regression
+        first = GradientBoostedTrees(n_estimators=20, subsample=0.8, seed=5).fit(
+            features, targets
+        )
+        second = GradientBoostedTrees(n_estimators=20, subsample=0.8, seed=5).fit(
+            features, targets
+        )
+        np.testing.assert_allclose(first.predict(features[:10]), second.predict(features[:10]))
+
+    def test_single_row_prediction_accepts_1d_input(self, synthetic_regression):
+        features, targets = synthetic_regression
+        model = GradientBoostedTrees(n_estimators=10, seed=0).fit(features, targets)
+        assert model.predict(features[0]).shape == (1,)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(PredictionError):
+            GradientBoostedTrees().predict(np.zeros((1, 3)))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(PredictionError):
+            GradientBoostedTrees(n_estimators=0)
+        with pytest.raises(PredictionError):
+            GradientBoostedTrees(learning_rate=0.0)
+        with pytest.raises(PredictionError):
+            GradientBoostedTrees(subsample=1.5)
+
+    def test_is_fitted_flag(self, synthetic_regression):
+        features, targets = synthetic_regression
+        model = GradientBoostedTrees(n_estimators=5, seed=0)
+        assert not model.is_fitted
+        model.fit(features, targets)
+        assert model.is_fitted
+
+
+class TestBenchmarkDataset:
+    def test_generation_shapes(self, platform):
+        dataset = generate_benchmark_dataset(platform, num_samples=100, seed=0)
+        assert len(dataset) == 100
+        assert dataset.features.shape == (100, 13)
+        assert np.all(dataset.latencies_ms > 0)
+        assert np.all(dataset.energies_mj > 0)
+
+    def test_generation_deterministic(self, platform):
+        first = generate_benchmark_dataset(platform, num_samples=50, seed=3)
+        second = generate_benchmark_dataset(platform, num_samples=50, seed=3)
+        np.testing.assert_allclose(first.features, second.features)
+        np.testing.assert_allclose(first.latencies_ms, second.latencies_ms)
+
+    def test_split_preserves_rows(self, platform):
+        dataset = generate_benchmark_dataset(platform, num_samples=60, seed=0)
+        train, test = dataset.split(train_fraction=0.75, seed=1)
+        assert len(train) + len(test) == 60
+        assert len(train) == 45
+
+    def test_split_invalid_fraction_rejected(self, platform):
+        dataset = generate_benchmark_dataset(platform, num_samples=10, seed=0)
+        with pytest.raises(ConfigurationError):
+            dataset.split(train_fraction=1.0)
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkDataset(np.zeros((0, 3)), np.zeros(0), np.zeros(0))
+        with pytest.raises(ConfigurationError):
+            BenchmarkDataset(np.ones((2, 3)), np.array([1.0, -1.0]), np.array([1.0, 1.0]))
+
+    def test_encode_features_layout(self, platform):
+        layer = Conv2dLayer(
+            name="c", width=32, in_width=16, kernel_size=3, stride=1,
+            in_spatial=(8, 8), out_spatial=(8, 8),
+        )
+        workload = LayerWorkload.from_layer(layer)
+        gpu = platform.unit("gpu")
+        features = encode_features(workload, gpu, 0.5)
+        assert features.shape == (13,)
+        assert features[8] == pytest.approx(gpu.peak_gflops)
+        assert features[-1] == pytest.approx(0.5)
+
+    def test_invalid_num_samples_rejected(self, platform):
+        with pytest.raises(ConfigurationError):
+            generate_benchmark_dataset(platform, num_samples=0)
+
+
+class TestSurrogate:
+    @pytest.fixture(scope="class")
+    def surrogate_and_data(self, platform):
+        dataset = generate_benchmark_dataset(platform, num_samples=700, noise_std=0.03, seed=0)
+        train, test = dataset.split(train_fraction=0.85, seed=0)
+        surrogate = train_surrogate(
+            platform, dataset=train, n_estimators=80, max_depth=5, seed=0
+        )
+        return surrogate, test
+
+    def test_predictions_positive(self, surrogate_and_data, platform):
+        surrogate, _ = surrogate_and_data
+        layer = Conv2dLayer(
+            name="c", width=128, in_width=64, kernel_size=3, stride=1,
+            in_spatial=(16, 16), out_spatial=(16, 16),
+        )
+        workload = LayerWorkload.from_layer(layer)
+        for unit in platform.compute_units:
+            assert surrogate.latency_ms(workload, unit, 1.0) > 0
+            assert surrogate.energy_mj(workload, unit, 1.0) > 0
+
+    def test_heldout_quality(self, surrogate_and_data):
+        surrogate, test = surrogate_and_data
+        metrics = surrogate.evaluate(test)
+        assert metrics["latency_r2"] > 0.8
+        assert metrics["energy_r2"] > 0.8
+
+    def test_surrogate_tracks_oracle_ordering(self, surrogate_and_data, platform):
+        surrogate, _ = surrogate_and_data
+        oracle = AnalyticalCostModel()
+        layer = Conv2dLayer(
+            name="c", width=256, in_width=128, kernel_size=3, stride=1,
+            in_spatial=(16, 16), out_spatial=(16, 16),
+        )
+        workload = LayerWorkload.from_layer(layer)
+        gpu, dla = platform.unit("gpu"), platform.unit("dla0")
+        # The learned model should agree that the GPU is faster and the DLA
+        # cheaper on this clearly compute-heavy workload.
+        assert surrogate.latency_ms(workload, gpu, 1.0) < surrogate.latency_ms(workload, dla, 1.0)
+        assert surrogate.energy_mj(workload, dla, 1.0) < surrogate.energy_mj(workload, gpu, 1.0)
+        assert oracle.latency_ms(workload, gpu, 1.0) < oracle.latency_ms(workload, dla, 1.0)
+
+    def test_unfitted_models_rejected(self):
+        with pytest.raises(PredictionError):
+            SurrogateCostModel(GradientBoostedTrees(), GradientBoostedTrees())

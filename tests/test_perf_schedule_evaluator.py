@@ -1,0 +1,174 @@
+"""Unit tests for the concurrent schedule model (Eq. 8-9) and the evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.nn.multiexit import build_dynamic_network
+from repro.nn.partition import IndicatorMatrix, PartitionMatrix
+from repro.perf.evaluator import MappingEvaluator
+from repro.perf.layer_cost import AnalyticalCostModel
+from repro.perf.schedule import simulate_schedule
+
+
+def make_dynamic(network, ranking, reuse=True):
+    num_layers = 3
+    indicator = IndicatorMatrix.full(3, num_layers) if reuse else IndicatorMatrix.none(3, num_layers)
+    if reuse:
+        values = indicator.values.copy()
+        values[-1, :] = 0
+        indicator = IndicatorMatrix(values)
+    return build_dynamic_network(
+        network,
+        partition=PartitionMatrix.uniform(3, num_layers),
+        indicator=indicator,
+        ranking=ranking,
+    )
+
+
+@pytest.fixture()
+def schedule_inputs(tiny_network, tiny_ranking, platform):
+    dynamic = make_dynamic(tiny_network, tiny_ranking)
+    units = [platform.unit("gpu"), platform.unit("dla0"), platform.unit("dla1")]
+    scales = [1.0, 1.0, 1.0]
+    return dynamic, units, scales
+
+
+class TestSimulateSchedule:
+    def test_cumulative_latencies_monotone(self, schedule_inputs, platform):
+        dynamic, units, scales = schedule_inputs
+        result = simulate_schedule(
+            dynamic, units, scales, AnalyticalCostModel(), platform.interconnect
+        )
+        for stage in result.stages:
+            cumulative = stage.cumulative_latencies_ms
+            assert all(b >= a for a, b in zip(cumulative, cumulative[1:]))
+
+    def test_total_latency_includes_exit(self, schedule_inputs, platform):
+        dynamic, units, scales = schedule_inputs
+        result = simulate_schedule(
+            dynamic, units, scales, AnalyticalCostModel(), platform.interconnect
+        )
+        for stage in result.stages:
+            assert stage.total_latency_ms == pytest.approx(
+                stage.cumulative_latencies_ms[-1] + stage.exit_latency_ms
+            )
+            assert stage.total_latency_ms >= stage.busy_latency_ms
+
+    def test_makespan_is_max_stage_latency(self, schedule_inputs, platform):
+        dynamic, units, scales = schedule_inputs
+        result = simulate_schedule(
+            dynamic, units, scales, AnalyticalCostModel(), platform.interconnect
+        )
+        assert result.makespan_ms == pytest.approx(
+            max(stage.total_latency_ms for stage in result.stages)
+        )
+
+    def test_first_stage_never_stalls(self, schedule_inputs, platform):
+        dynamic, units, scales = schedule_inputs
+        result = simulate_schedule(
+            dynamic, units, scales, AnalyticalCostModel(), platform.interconnect
+        )
+        assert result.stage(0).stall_ms == 0.0
+        assert result.stage(0).transfer_latency_ms == 0.0
+
+    def test_later_stages_wait_for_slow_producers(self, tiny_network, tiny_ranking, platform):
+        # Stage 0 on the slow DLA with reuse means stage 1 (on the fast GPU)
+        # must stall waiting for stage 0's features.
+        dynamic = make_dynamic(tiny_network, tiny_ranking, reuse=True)
+        units = [platform.unit("dla0"), platform.unit("gpu"), platform.unit("dla1")]
+        result = simulate_schedule(
+            dynamic, units, [1.0, 1.0, 1.0], AnalyticalCostModel(), platform.interconnect
+        )
+        assert result.stage(1).stall_ms > 0.0
+
+    def test_no_reuse_means_no_transfers_or_stalls(self, tiny_network, tiny_ranking, platform):
+        dynamic = make_dynamic(tiny_network, tiny_ranking, reuse=False)
+        units = [platform.unit("dla0"), platform.unit("gpu"), platform.unit("dla1")]
+        result = simulate_schedule(
+            dynamic, units, [1.0, 1.0, 1.0], AnalyticalCostModel(), platform.interconnect
+        )
+        for stage in result.stages:
+            assert stage.transfer_latency_ms == 0.0
+            assert stage.stall_ms == 0.0
+
+    def test_lower_dvfs_increases_latency(self, schedule_inputs, platform):
+        dynamic, units, _ = schedule_inputs
+        fast = simulate_schedule(
+            dynamic, units, [1.0, 1.0, 1.0], AnalyticalCostModel(), platform.interconnect
+        )
+        slow = simulate_schedule(
+            dynamic, units, [0.4, 0.4, 0.4], AnalyticalCostModel(), platform.interconnect
+        )
+        assert slow.makespan_ms > fast.makespan_ms
+
+    def test_duplicate_units_rejected(self, schedule_inputs, platform):
+        dynamic, _, scales = schedule_inputs
+        units = [platform.unit("gpu"), platform.unit("gpu"), platform.unit("dla0")]
+        with pytest.raises(MappingError):
+            simulate_schedule(dynamic, units, scales, AnalyticalCostModel(), platform.interconnect)
+
+    def test_wrong_length_rejected(self, schedule_inputs, platform):
+        dynamic, units, _ = schedule_inputs
+        with pytest.raises(MappingError):
+            simulate_schedule(
+                dynamic, units[:2], [1.0, 1.0], AnalyticalCostModel(), platform.interconnect
+            )
+
+
+class TestMappingEvaluator:
+    def test_profile_shape(self, tiny_dynamic, mapping_evaluator, platform):
+        profile = mapping_evaluator.profile(
+            tiny_dynamic, ("gpu", "dla0", "dla1"), (9, 5, 5)
+        )
+        assert profile.num_stages == 3
+        assert profile.latency_ms > 0
+        assert profile.total_energy_mj > 0
+
+    def test_cumulative_energy_monotone(self, tiny_dynamic, mapping_evaluator):
+        profile = mapping_evaluator.profile(tiny_dynamic, ("gpu", "dla0", "dla1"), (0, 0, 0))
+        energies = [profile.cumulative_energy_mj(i) for i in range(3)]
+        assert energies[0] < energies[1] < energies[2]
+        assert energies[-1] == pytest.approx(profile.total_energy_mj)
+
+    def test_cumulative_latency_monotone(self, tiny_dynamic, mapping_evaluator):
+        profile = mapping_evaluator.profile(tiny_dynamic, ("gpu", "dla0", "dla1"), (0, 0, 0))
+        latencies = [profile.cumulative_latency_ms(i) for i in range(3)]
+        assert all(b >= a for a, b in zip(latencies, latencies[1:]))
+        assert latencies[-1] == pytest.approx(profile.latency_ms)
+
+    def test_stage_energy_composition(self, tiny_dynamic, mapping_evaluator):
+        profile = mapping_evaluator.profile(tiny_dynamic, ("gpu", "dla0", "dla1"), (0, 0, 0))
+        for stage in profile.stages:
+            assert stage.energy_mj == pytest.approx(
+                stage.compute_energy_mj + stage.transfer_energy_mj
+            )
+        # Later stages import features, so they pay transfer energy.
+        assert profile.stages[0].transfer_energy_mj == 0.0
+        assert profile.stages[2].transfer_energy_mj > 0.0
+
+    def test_stage_units_and_scales_recorded(self, tiny_dynamic, mapping_evaluator, platform):
+        gpu_points = platform.unit("gpu").num_dvfs_points()
+        profile = mapping_evaluator.profile(
+            tiny_dynamic, ("gpu", "dla0", "dla1"), (gpu_points - 1, 0, 0)
+        )
+        assert profile.stages[0].unit_name == "gpu"
+        assert profile.stages[0].dvfs_scale == pytest.approx(1.0)
+        assert profile.stages[1].dvfs_scale < 1.0
+
+    def test_wrong_argument_lengths_rejected(self, tiny_dynamic, mapping_evaluator):
+        with pytest.raises(MappingError):
+            mapping_evaluator.profile(tiny_dynamic, ("gpu", "dla0"), (0, 0))
+        with pytest.raises(MappingError):
+            mapping_evaluator.profile(tiny_dynamic, ("gpu", "dla0", "dla1"), (0, 0))
+
+    def test_out_of_range_stage_rejected(self, tiny_dynamic, mapping_evaluator):
+        profile = mapping_evaluator.profile(tiny_dynamic, ("gpu", "dla0", "dla1"), (0, 0, 0))
+        with pytest.raises(MappingError):
+            profile.cumulative_energy_mj(5)
+
+    def test_stored_feature_bytes_forwarded(self, tiny_dynamic, mapping_evaluator):
+        profile = mapping_evaluator.profile(tiny_dynamic, ("gpu", "dla0", "dla1"), (0, 0, 0))
+        assert profile.stored_feature_bytes == tiny_dynamic.stored_feature_bytes()

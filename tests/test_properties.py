@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) for the core data structures and models.
+
+These tests pin down the invariants the rest of the library relies on:
+channel splits always conserve the layer width, coverage and power stay in
+their physical ranges, exit statistics always form a distribution, the
+concurrent schedule is never faster than its slowest busy stage, and Pareto
+fronts never contain dominated points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamics.accuracy import AccuracyModel
+from repro.dynamics.samples import compute_exit_statistics
+from repro.nn.partition import IndicatorMatrix, PartitionMatrix, split_units
+from repro.perf.layer_cost import AnalyticalCostModel, LayerWorkload
+from repro.soc.dvfs import DvfsTable, PowerModel
+from repro.soc.platform import jetson_agx_xavier
+from repro.utils import geometric_mean
+
+PLATFORM = jetson_agx_xavier()
+COST_MODEL = AnalyticalCostModel()
+
+
+# -- strategies ---------------------------------------------------------------
+positive_fractions = st.lists(
+    st.floats(min_value=0.05, max_value=1.0, allow_nan=False), min_size=1, max_size=6
+).map(lambda values: [v / sum(values) for v in values])
+
+
+@st.composite
+def widths_and_fractions(draw):
+    num_shares = draw(st.integers(min_value=1, max_value=6))
+    granularity = draw(st.sampled_from([1, 2, 4, 8, 16, 32]))
+    granules = draw(st.integers(min_value=num_shares, max_value=64))
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=num_shares,
+            max_size=num_shares,
+        )
+    )
+    fractions = [value / sum(raw) for value in raw]
+    return granules * granularity, fractions, granularity
+
+
+@st.composite
+def workloads(draw):
+    kind = draw(st.sampled_from(["conv2d", "attention", "feedforward", "linear"]))
+    flops = draw(st.floats(min_value=1e3, max_value=1e10, allow_nan=False))
+    input_bytes = draw(st.floats(min_value=1.0, max_value=1e7, allow_nan=False))
+    output_bytes = draw(st.floats(min_value=1.0, max_value=1e7, allow_nan=False))
+    weight_bytes = draw(st.floats(min_value=1.0, max_value=1e8, allow_nan=False))
+    return LayerWorkload(
+        kind=kind,
+        flops=flops,
+        input_bytes=input_bytes,
+        output_bytes=output_bytes,
+        weight_bytes=weight_bytes,
+    )
+
+
+# -- split_units ----------------------------------------------------------------
+class TestSplitUnitsProperties:
+    @given(widths_and_fractions())
+    @settings(max_examples=200, deadline=None)
+    def test_split_conserves_width_and_granularity(self, case):
+        width, fractions, granularity = case
+        shares = split_units(width, fractions, granularity=granularity)
+        assert sum(shares) == width
+        assert all(share % granularity == 0 for share in shares)
+        assert all(share >= granularity for share in shares)
+
+    @given(widths_and_fractions())
+    @settings(max_examples=100, deadline=None)
+    def test_split_tracks_requested_fractions(self, case):
+        width, fractions, granularity = case
+        shares = split_units(width, fractions, granularity=granularity)
+        for share, fraction in zip(shares, fractions):
+            # The one-granule floor for every share can push a single share
+            # away from its ideal by at most one granule per other share.
+            assert abs(share - fraction * width) <= granularity * len(fractions)
+
+
+# -- partition / indicator matrices ----------------------------------------------
+class TestMatrixProperties:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_uniform_partition_is_valid(self, stages, layers):
+        matrix = PartitionMatrix.uniform(stages, layers)
+        assert matrix.num_stages == stages
+        assert matrix.num_layers == layers
+        np.testing.assert_allclose(matrix.values.sum(axis=0), 1.0)
+
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=1, max_value=12),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reuse_fraction_in_unit_interval(self, stages, layers, data):
+        bits = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=1),
+                min_size=stages * layers,
+                max_size=stages * layers,
+            )
+        )
+        indicator = IndicatorMatrix(np.array(bits).reshape(stages, layers))
+        assert 0.0 <= indicator.reuse_fraction() <= 1.0
+
+
+# -- accuracy model ----------------------------------------------------------------
+class TestAccuracyModelProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.3, max_value=0.99, allow_nan=False),
+        st.sampled_from(["vit", "cnn"]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_accuracy_stays_in_range(self, coverage, base, family):
+        model = AccuracyModel()
+        accuracy = model.stage_accuracy_from_coverage(coverage, base, family)
+        assert 0.0 <= accuracy <= 0.995
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=2, max_size=8),
+        st.floats(min_value=0.3, max_value=0.99, allow_nan=False),
+        st.sampled_from(["vit", "cnn"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_coverage(self, coverages, base, family):
+        model = AccuracyModel()
+        ordered = sorted(coverages)
+        accuracies = [
+            model.stage_accuracy_from_coverage(c, base, family) for c in ordered
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(accuracies, accuracies[1:]))
+
+
+# -- exit statistics ------------------------------------------------------------------
+class TestExitStatisticsProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=0.99, allow_nan=False), min_size=1, max_size=6
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_fractions_form_distribution(self, raw):
+        accuracies = sorted(raw)
+        stats = compute_exit_statistics(accuracies)
+        assert sum(stats.exit_fractions) == pytest.approx(1.0)
+        assert all(fraction >= -1e-12 for fraction in stats.exit_fractions)
+        assert 1.0 <= stats.expected_stages() <= len(accuracies)
+        assert stats.accuracy == pytest.approx(accuracies[-1])
+
+
+# -- cost model ----------------------------------------------------------------------
+class TestCostModelProperties:
+    @given(workloads(), st.sampled_from(["gpu", "dla0", "dla1"]), st.floats(0.2, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_latency_and_energy_positive(self, workload, unit_name, scale):
+        unit = PLATFORM.unit(unit_name)
+        latency = COST_MODEL.latency_ms(workload, unit, scale)
+        energy = COST_MODEL.energy_mj(workload, unit, scale)
+        assert latency >= unit.launch_overhead_ms
+        assert energy > 0
+        assert energy == pytest.approx(latency * unit.power_w(scale))
+
+    @given(workloads(), st.sampled_from(["gpu", "dla0"]))
+    @settings(max_examples=100, deadline=None)
+    def test_latency_monotone_in_dvfs(self, workload, unit_name):
+        unit = PLATFORM.unit(unit_name)
+        scales = unit.dvfs.scales()
+        latencies = [COST_MODEL.latency_ms(workload, unit, s) for s in scales]
+        assert all(b <= a + 1e-12 for a, b in zip(latencies, latencies[1:]))
+
+
+# -- DVFS / power ----------------------------------------------------------------------
+class TestPowerModelProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_power_between_static_and_max(self, static, dynamic, scale):
+        model = PowerModel(static_w=static, dynamic_w=dynamic)
+        power = model.power_w(scale)
+        assert static <= power <= model.max_power_w + 1e-12
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=3000.0), min_size=1, max_size=20, unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_dvfs_scales_normalised(self, frequencies):
+        table = DvfsTable.from_frequencies(frequencies)
+        scales = table.scales()
+        assert max(scales) == pytest.approx(1.0)
+        assert all(0 < s <= 1 for s in scales)
+
+
+# -- utils -------------------------------------------------------------------------------
+class TestUtilsProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_geometric_mean_bounded_by_min_and_max(self, values):
+        result = geometric_mean(values)
+        assert min(values) * (1 - 1e-9) <= result <= max(values) * (1 + 1e-9)

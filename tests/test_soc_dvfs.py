@@ -1,0 +1,106 @@
+"""Unit tests for DVFS tables and the linear power model (Eq. 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.dvfs import DvfsTable, OperatingPoint, PowerModel
+
+
+class TestOperatingPoint:
+    def test_valid_point(self):
+        point = OperatingPoint(frequency_mhz=1377.0, voltage_mv=900.0)
+        assert point.frequency_mhz == 1377.0
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(frequency_mhz=0.0)
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(frequency_mhz=-100.0)
+
+    def test_negative_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(frequency_mhz=100.0, voltage_mv=-1.0)
+
+
+class TestDvfsTable:
+    def test_from_frequencies_sorts(self):
+        table = DvfsTable.from_frequencies([900, 300, 600])
+        assert [p.frequency_mhz for p in table.points] == [300, 600, 900]
+
+    def test_scale_is_relative_to_max(self):
+        table = DvfsTable.from_frequencies([300, 600, 1200])
+        assert table.scale(0) == pytest.approx(0.25)
+        assert table.scale(2) == pytest.approx(1.0)
+        assert table.scales() == pytest.approx((0.25, 0.5, 1.0))
+
+    def test_len_and_getitem(self):
+        table = DvfsTable.from_frequencies([300, 600])
+        assert len(table) == 2
+        assert table[1].frequency_mhz == 600
+
+    def test_linspace(self):
+        table = DvfsTable.linspace(100, 1000, 10)
+        assert len(table) == 10
+        assert table.max_frequency_mhz == pytest.approx(1000)
+
+    def test_out_of_range_index_rejected(self):
+        table = DvfsTable.from_frequencies([300, 600])
+        with pytest.raises(ConfigurationError):
+            table.scale(5)
+        with pytest.raises(ConfigurationError):
+            table.scale(-1)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DvfsTable(points=())
+
+    def test_duplicate_frequencies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DvfsTable.from_frequencies([300, 300, 600])
+
+    def test_unsorted_points_rejected(self):
+        points = (OperatingPoint(600.0), OperatingPoint(300.0))
+        with pytest.raises(ConfigurationError):
+            DvfsTable(points=points)
+
+    def test_linspace_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            DvfsTable.linspace(0, 100, 5)
+        with pytest.raises(ConfigurationError):
+            DvfsTable.linspace(100, 50, 5)
+        with pytest.raises(ConfigurationError):
+            DvfsTable.linspace(100, 200, 0)
+
+
+class TestPowerModel:
+    def test_power_is_linear_in_scale(self):
+        model = PowerModel(static_w=2.0, dynamic_w=8.0)
+        assert model.power_w(1.0) == pytest.approx(10.0)
+        assert model.power_w(0.5) == pytest.approx(6.0)
+        assert model.max_power_w == pytest.approx(10.0)
+
+    def test_energy_units_are_millijoules(self):
+        model = PowerModel(static_w=0.0, dynamic_w=10.0)
+        # 10 W for 5 ms = 50 mJ.
+        assert model.energy_mj(latency_ms=5.0, scale=1.0) == pytest.approx(50.0)
+
+    def test_lower_scale_reduces_power(self):
+        model = PowerModel(static_w=1.0, dynamic_w=9.0)
+        assert model.power_w(0.3) < model.power_w(0.9)
+
+    def test_invalid_scale_rejected(self):
+        model = PowerModel(static_w=1.0, dynamic_w=1.0)
+        with pytest.raises(ConfigurationError):
+            model.power_w(0.0)
+        with pytest.raises(ConfigurationError):
+            model.power_w(1.5)
+
+    def test_zero_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(static_w=0.0, dynamic_w=0.0)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(static_w=-1.0, dynamic_w=1.0)
