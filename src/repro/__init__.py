@@ -10,6 +10,9 @@ package provides:
   concurrent-execution characterisation of Eq. 8-14 (:mod:`repro.perf`),
 * the dynamic multi-exit inference simulator (:mod:`repro.dynamics`),
 * the evolutionary mapping optimiser and baselines (:mod:`repro.search`),
+* the pluggable search engine: ask/tell strategies (evolutionary, NSGA-II,
+  random), serial/process-pool evaluation backends and a persistent
+  content-keyed evaluation cache (:mod:`repro.engine`),
 * the high-level :class:`~repro.core.framework.MapAndConquer` facade and
   report helpers (:mod:`repro.core`).
 
@@ -24,12 +27,21 @@ Quickstart::
 
 from .core.framework import MapAndConquer
 from .core.report import format_table
+from .engine import (
+    EvaluationCache,
+    EvolutionaryStrategy,
+    NSGA2Strategy,
+    ProcessPoolBackend,
+    RandomStrategy,
+    SearchEngine,
+    SerialBackend,
+)
 from .nn.models import build_model, resnet20, vgg19, visformer
 from .search.constraints import SearchConstraints
 from .search.space import MappingConfig, SearchSpace
 from .soc.platform import Platform, jetson_agx_xavier
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MapAndConquer",
@@ -43,5 +55,12 @@ __all__ = [
     "vgg19",
     "resnet20",
     "build_model",
+    "EvaluationCache",
+    "SearchEngine",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "EvolutionaryStrategy",
+    "NSGA2Strategy",
+    "RandomStrategy",
     "__version__",
 ]

@@ -20,10 +20,16 @@ baselines and Pareto selections reported in the paper.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Optional, Sequence, Tuple
 
 from ..dynamics.accuracy import AccuracyModel
 from ..dynamics.samples import DEFAULT_VALIDATION_SAMPLES
+from ..engine.backends import EvaluationBackend, ProcessPoolBackend, SerialBackend
+from ..engine.cache import EvaluationCache
+from ..engine.engine import SearchEngine
+from ..engine.nsga import NSGA2Strategy
+from ..engine.strategies import EvolutionaryStrategy, RandomStrategy, SearchStrategy
 from ..errors import ConfigurationError
 from ..nn.channels import ChannelRanking, rank_channels
 from ..nn.graph import NetworkGraph
@@ -32,13 +38,16 @@ from ..perf.predictor import train_surrogate
 from ..search.baselines import single_unit_baseline, static_partitioned_baseline
 from ..search.constraints import SearchConstraints
 from ..search.evaluation import ConfigEvaluator, EvaluatedConfig
-from ..search.evolutionary import EvolutionarySearch, SearchResult
+from ..search.evolutionary import SearchResult
 from ..search.objectives import paper_objective
 from ..search.pareto import pareto_front, select_energy_oriented, select_latency_oriented
 from ..search.space import MappingConfig, SearchSpace
 from ..soc.platform import Platform, jetson_agx_xavier
 
 __all__ = ["MapAndConquer"]
+
+#: Strategy names accepted by :meth:`MapAndConquer.search`.
+STRATEGY_NAMES = ("evolutionary", "nsga2", "random")
 
 
 class MapAndConquer:
@@ -115,6 +124,10 @@ class MapAndConquer:
             num_stages=num_stages,
             max_reuse_fraction=max_reuse_fraction,
         )
+        # Default engine cache, shared by every search() on this framework so
+        # repeated searches (strategy comparisons, warm restarts) hit it and
+        # the cache telemetry reflects the reuse that actually happens.
+        self.evaluation_cache = EvaluationCache()
 
     # -- evaluation -----------------------------------------------------------------
     def evaluate(self, config: MappingConfig) -> EvaluatedConfig:
@@ -152,32 +165,176 @@ class MapAndConquer:
     # -- search ---------------------------------------------------------------------
     def search(
         self,
-        generations: int = 200,
-        population_size: int = 60,
+        generations: Optional[int] = None,
+        population_size: Optional[int] = None,
         constraints: Optional[SearchConstraints] = None,
-        objective: Callable[[EvaluatedConfig], float] = paper_objective,
-        elite_fraction: float = 0.25,
-        mutation_rate: float = 0.8,
+        objective: Optional[Callable[[EvaluatedConfig], float]] = None,
+        elite_fraction: Optional[float] = None,
+        mutation_rate: Optional[float] = None,
         seed: Optional[int] = None,
+        strategy: "str | SearchStrategy" = "evolutionary",
+        backend: "str | EvaluationBackend | None" = None,
+        n_workers: Optional[int] = None,
+        cache: "EvaluationCache | str | Path | None" = None,
     ) -> SearchResult:
-        """Run the evolutionary search (Fig. 5) and return its result.
+        """Run the mapping search (Fig. 5) and return its result.
 
         The paper's full budget is 200 generations of 60 individuals; the
         benches and examples use smaller budgets that converge on the reduced
         analytical problem in seconds.
+
+        Parameters beyond the seed behaviour
+        ------------------------------------
+        strategy:
+            ``"evolutionary"`` (default, the paper's Fig. 5 loop — identical
+            results to the pre-engine implementation for a given seed),
+            ``"nsga2"`` (non-dominated sorting + crowding distance), or
+            ``"random"``; alternatively a ready-made
+            :class:`~repro.engine.strategies.SearchStrategy` instance, which
+            carries its own budget/seed (passing loop parameters alongside an
+            instance is rejected as ambiguous).
+        backend:
+            ``"serial"`` (default) or ``"process"``, or an
+            :class:`~repro.engine.backends.EvaluationBackend` instance.
+        n_workers:
+            Worker-process count; setting it implies the process backend.
+        cache:
+            An :class:`~repro.engine.cache.EvaluationCache` to share/reuse, or
+            a path to a JSON-lines file for persistence across runs; ``None``
+            uses this framework's own :attr:`evaluation_cache`, shared across
+            every search it runs.
         """
-        search = EvolutionarySearch(
-            space=self.space,
-            evaluator=self.evaluator,
-            objective=objective,
-            constraints=constraints,
-            population_size=population_size,
+        strategy_obj = self._build_strategy(
+            strategy,
             generations=generations,
+            population_size=population_size,
+            constraints=constraints,
+            objective=objective,
             elite_fraction=elite_fraction,
             mutation_rate=mutation_rate,
-            seed=self.seed if seed is None else seed,
+            seed=seed,
         )
-        return search.run()
+        # The engine ranks the final result; keep its view aligned with the
+        # strategy's own objective/constraints when an instance carries them
+        # and the caller did not override.
+        engine_objective = objective
+        engine_constraints = constraints
+        if isinstance(strategy, SearchStrategy):
+            if engine_objective is None:
+                engine_objective = getattr(strategy_obj, "objective", None)
+            if engine_constraints is None:
+                engine_constraints = getattr(strategy_obj, "constraints", None)
+        backend_obj, owns_backend = self._build_backend(backend, n_workers)
+        if cache is None:
+            cache_obj = self.evaluation_cache
+        elif isinstance(cache, EvaluationCache):
+            cache_obj = cache
+        else:
+            cache_obj = EvaluationCache(path=cache)
+        engine = SearchEngine(
+            evaluator=self.evaluator,
+            backend=backend_obj,
+            cache=cache_obj,
+            constraints=engine_constraints,
+            objective=engine_objective if engine_objective is not None else paper_objective,
+            platform=self.platform,
+        )
+        try:
+            return engine.run(strategy_obj)
+        finally:
+            if owns_backend:
+                backend_obj.close()
+
+    # -- engine wiring ----------------------------------------------------------------
+    def _build_strategy(
+        self,
+        strategy,
+        generations: Optional[int],
+        population_size: Optional[int],
+        constraints: Optional[SearchConstraints],
+        objective: Optional[Callable[[EvaluatedConfig], float]],
+        elite_fraction: Optional[float],
+        mutation_rate: Optional[float],
+        seed: Optional[int],
+    ) -> SearchStrategy:
+        if isinstance(strategy, SearchStrategy):
+            conflicting = {
+                "generations": generations,
+                "population_size": population_size,
+                "elite_fraction": elite_fraction,
+                "mutation_rate": mutation_rate,
+                "seed": seed,
+            }
+            passed = [name for name, value in conflicting.items() if value is not None]
+            if passed:
+                raise ConfigurationError(
+                    "a SearchStrategy instance carries its own loop parameters; "
+                    f"drop {passed} or pass a strategy name instead"
+                )
+            return strategy
+        # The paper's full budget, used when nothing smaller is requested.
+        generations = 200 if generations is None else generations
+        population_size = 60 if population_size is None else population_size
+        elite_fraction = 0.25 if elite_fraction is None else elite_fraction
+        mutation_rate = 0.8 if mutation_rate is None else mutation_rate
+        seed = self.seed if seed is None else seed
+        objective = paper_objective if objective is None else objective
+        if strategy == "evolutionary":
+            return EvolutionaryStrategy(
+                space=self.space,
+                objective=objective,
+                constraints=constraints,
+                population_size=population_size,
+                generations=generations,
+                elite_fraction=elite_fraction,
+                mutation_rate=mutation_rate,
+                seed=seed,
+            )
+        if strategy == "nsga2":
+            return NSGA2Strategy(
+                space=self.space,
+                constraints=constraints,
+                population_size=population_size,
+                generations=generations,
+                mutation_rate=mutation_rate,
+                seed=seed,
+            )
+        if strategy == "random":
+            return RandomStrategy(
+                space=self.space,
+                population_size=population_size,
+                generations=generations,
+                seed=seed,
+            )
+        raise ConfigurationError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGY_NAMES} "
+            "or a SearchStrategy instance"
+        )
+
+    def _build_backend(self, backend, n_workers: Optional[int]):
+        """Resolve the backend choice; returns ``(backend, engine_owns_it)``."""
+        if isinstance(backend, EvaluationBackend):
+            if n_workers is not None:
+                raise ConfigurationError("pass n_workers or a backend instance, not both")
+            return backend, False
+        if backend is None:
+            backend = "serial" if n_workers is None else "process"
+        if backend == "serial":
+            if n_workers is not None and n_workers != 1:
+                raise ConfigurationError("the serial backend cannot use n_workers")
+            return SerialBackend(self.evaluator), True
+        if backend == "process":
+            return (
+                ProcessPoolBackend(
+                    self.evaluator,
+                    n_workers=n_workers if n_workers is not None else 2,
+                ),
+                True,
+            )
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected 'serial', 'process' "
+            "or an EvaluationBackend instance"
+        )
 
     # -- Pareto selection -------------------------------------------------------------
     def pareto(self, evaluated: Sequence[EvaluatedConfig]) -> list:

@@ -12,8 +12,16 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence
 
 from ..search.evaluation import EvaluatedConfig
+from ..search.evolutionary import SearchResult
 
-__all__ = ["format_table", "table_to_string", "table2_row", "comparison_row"]
+__all__ = [
+    "format_table",
+    "table_to_string",
+    "table2_row",
+    "comparison_row",
+    "convergence_table",
+    "search_summary",
+]
 
 
 def format_table(
@@ -82,3 +90,54 @@ def comparison_row(label: str, reference: EvaluatedConfig, candidate: EvaluatedC
         "accuracy_delta_pct": 100.0 * (candidate.accuracy - reference.accuracy),
         "reuse_pct": 100.0 * candidate.reuse_fraction,
     }
+
+
+def convergence_table(result: SearchResult, every: int = 1) -> str:
+    """Per-generation convergence table with the engine's telemetry columns.
+
+    Besides the paper's convergence curve (best objective per generation),
+    this surfaces the evaluation-cache hit rate and the wall-clock time each
+    generation's evaluation took, so cache efficacy and backend scaling are
+    visible at a glance.  ``every`` subsamples long runs (the final
+    generation is always included).
+    """
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every}")
+    stats = result.generations
+    selected = [s for s in stats if s.generation % every == 0]
+    if stats and stats[-1] not in selected:
+        selected.append(stats[-1])
+    rows = [
+        {
+            "gen": s.generation,
+            "evaluated": s.evaluated,
+            "feasible": s.feasible,
+            "best_objective": s.best_objective,
+            "best_lat_ms": s.best_latency_ms,
+            "best_enrg_mJ": s.best_energy_mj,
+            "cache_hit_%": 100.0 * s.cache_hit_rate,
+            "wall_ms": 1000.0 * s.wall_clock_s,
+        }
+        for s in selected
+    ]
+    return format_table(rows)
+
+
+def search_summary(result: SearchResult) -> str:
+    """One-paragraph summary of a search run, including cache/time totals."""
+    stats = result.generations
+    total_wall_s = sum(s.wall_clock_s for s in stats)
+    total_lookups = sum(s.evaluated for s in stats)
+    hits = sum(s.cache_hit_rate * s.evaluated for s in stats)
+    overall_hit_rate = hits / total_lookups if total_lookups else 0.0
+    lines = [
+        f"{len(stats)} generations, {total_lookups} evaluations requested, "
+        f"{result.num_evaluations} distinct configurations",
+        f"cache hit rate {100.0 * overall_hit_rate:.1f}%, "
+        f"evaluation wall-clock {total_wall_s:.2f}s",
+        f"{len(result.feasible)} feasible, {len(result.pareto)} on the Pareto front",
+        f"best: {result.best.config.describe()} "
+        f"({result.best.latency_ms:.2f} ms, {result.best.energy_mj:.2f} mJ, "
+        f"{100.0 * result.best.accuracy:.1f}% top-1)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Pluggable search-engine subsystem.
+
+The engine decomposes the paper's Fig. 5 loop into three orthogonal pieces:
+
+* **strategies** (:mod:`repro.engine.strategies`, :mod:`repro.engine.nsga`)
+  propose configurations via an ask/tell protocol — the seed's evolutionary
+  loop, NSGA-II non-dominated sorting, and a random-search baseline,
+* **backends** (:mod:`repro.engine.backends`) decide where uncached
+  configurations are evaluated — in-process or across a worker pool rebuilt
+  from a picklable :class:`~repro.engine.backends.EvaluatorSpec`,
+* a **cache** (:mod:`repro.engine.cache`) keyed by configuration + evaluator
+  content, with hit/miss telemetry and optional JSON-lines persistence.
+
+:class:`~repro.engine.engine.SearchEngine` wires the three together and is
+what :meth:`repro.core.framework.MapAndConquer.search` runs on.
+"""
+
+from .backends import EvaluationBackend, EvaluatorSpec, ProcessPoolBackend, SerialBackend
+from .cache import CacheStats, EvaluationCache
+from .engine import SearchEngine
+from .nsga import NSGA2Strategy, crowding_distance, non_dominated_sort, objective_matrix
+from .strategies import EvolutionaryStrategy, RandomStrategy, SearchStrategy
+
+__all__ = [
+    "CacheStats",
+    "EvaluationCache",
+    "EvaluationBackend",
+    "EvaluatorSpec",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SearchStrategy",
+    "EvolutionaryStrategy",
+    "RandomStrategy",
+    "NSGA2Strategy",
+    "non_dominated_sort",
+    "crowding_distance",
+    "objective_matrix",
+    "SearchEngine",
+]

@@ -1,0 +1,156 @@
+"""Content-keyed evaluation cache with optional JSON-lines persistence.
+
+Every evaluation the engine performs flows through an
+:class:`EvaluationCache`.  Entries are keyed by a stable content digest of
+the configuration plus the identity of the evaluator that scored it (see
+:meth:`repro.search.evaluation.ConfigEvaluator.content_digest`), so two
+differently configured evaluators can safely share one cache, and re-running
+a search with the same seed costs nothing.
+
+When constructed with a ``path`` the cache appends one JSON line per stored
+result and reloads existing lines on startup, making evaluation results
+persistent across runs and shareable between processes.  Each line carries a
+human-readable metric summary next to an opaque pickled payload, so cache
+files double as a flat log of everything ever evaluated.
+
+.. warning::
+   The payload is a pickle: loading a cache file deserialises it with
+   :func:`pickle.loads`, which can execute arbitrary code.  Only open cache
+   files you wrote yourself or obtained from a source you trust, exactly as
+   you would treat any other pickle.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..search.evaluation import EvaluatedConfig
+
+__all__ = ["CacheStats", "EvaluationCache"]
+
+#: Format marker written into every persisted line; bump on layout changes.
+_PERSIST_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`EvaluationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    loaded: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> Tuple[int, int]:
+        """Current ``(hits, misses)`` pair, for windowed rate computation."""
+        return (self.hits, self.misses)
+
+    def window_hit_rate(self, snapshot: Tuple[int, int]) -> float:
+        """Hit rate since ``snapshot`` was taken."""
+        hits = self.hits - snapshot[0]
+        misses = self.misses - snapshot[1]
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+class EvaluationCache:
+    """In-memory (and optionally on-disk) store of evaluation results.
+
+    Parameters
+    ----------
+    path:
+        Optional JSON-lines file.  Existing lines are loaded eagerly; every
+        :meth:`store` appends one line so independent runs accumulate into a
+        shared result store.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self._entries: Dict[str, EvaluatedConfig] = {}
+        self.stats = CacheStats()
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    # -- lookup / store ----------------------------------------------------------
+    def lookup(self, digest: str) -> Optional[EvaluatedConfig]:
+        """Return the cached result for ``digest``, recording a hit or miss."""
+        value = self._entries.get(digest)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def peek(self, digest: str) -> Optional[EvaluatedConfig]:
+        """Like :meth:`lookup` but without touching the statistics."""
+        return self._entries.get(digest)
+
+    def store(self, digest: str, value: EvaluatedConfig) -> None:
+        """Insert a freshly evaluated result and persist it if configured."""
+        if not isinstance(value, EvaluatedConfig):
+            raise ConfigurationError(
+                f"cache values must be EvaluatedConfig, got {type(value).__name__}"
+            )
+        if digest in self._entries:
+            return
+        self._entries[digest] = value
+        if self.path is not None:
+            self._append(digest, value)
+
+    # -- persistence -------------------------------------------------------------
+    def _append(self, digest: str, value: EvaluatedConfig) -> None:
+        record = {
+            "version": _PERSIST_VERSION,
+            "key": digest,
+            "metrics": {
+                "accuracy": value.accuracy,
+                "latency_ms": value.latency_ms,
+                "energy_mj": value.energy_mj,
+                "reuse_fraction": value.reuse_fraction,
+            },
+            "mapping": value.config.describe(),
+            "payload": base64.b64encode(pickle.dumps(value)).decode("ascii"),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as stream:
+            stream.write(json.dumps(record) + "\n")
+
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if record.get("version") != _PERSIST_VERSION:
+                        continue
+                    digest = record["key"]
+                    value = pickle.loads(base64.b64decode(record["payload"]))
+                    if not isinstance(value, EvaluatedConfig):
+                        continue
+                except Exception:  # noqa: BLE001 - tolerate truncated/foreign lines
+                    continue
+                self._entries[digest] = value
+                self.stats.loaded += 1

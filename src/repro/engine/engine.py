@@ -1,0 +1,182 @@
+"""The search engine: one evaluation loop for every strategy and backend.
+
+The seed's ``EvolutionarySearch.run`` owned sampling, evaluation, caching and
+bookkeeping at once.  :class:`SearchEngine` inverts that: a
+:class:`~repro.engine.strategies.SearchStrategy` proposes configurations, the
+engine resolves them through its content-keyed
+:class:`~repro.engine.cache.EvaluationCache`, sends only the uncached
+remainder to an :class:`~repro.engine.backends.EvaluationBackend` (serial or
+process pool), merges the results back, and records per-generation telemetry
+(cache hit-rate, wall-clock) alongside the paper's convergence statistics.
+
+The final :class:`~repro.search.evolutionary.SearchResult` is assembled
+exactly as the seed did — history deduplicated (now by content key rather
+than object identity), feasibility-filtered pool, Pareto front, best by the
+scalar objective — so every downstream consumer keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SearchError
+from ..search.constraints import SearchConstraints
+from ..search.evaluation import ConfigEvaluator, EvaluatedConfig
+from ..search.evolutionary import GenerationStats, SearchResult
+from ..search.objectives import paper_objective
+from ..search.pareto import pareto_front
+from ..search.space import MappingConfig
+from .backends import EvaluationBackend, SerialBackend
+from .cache import EvaluationCache
+from .strategies import SearchStrategy
+
+__all__ = ["SearchEngine"]
+
+
+class SearchEngine:
+    """Drive a strategy's ask/tell loop through a cache and a backend.
+
+    Parameters
+    ----------
+    evaluator:
+        The evaluation pipeline; also provides the content keys the cache and
+        the history deduplication use.
+    backend:
+        Where uncached configurations are evaluated; defaults to a
+        :class:`SerialBackend` over ``evaluator``.
+    cache:
+        Shared result store; defaults to a fresh in-memory cache.  Pass a
+        persistent cache to reuse results across runs.
+    constraints, objective:
+        Feasibility gate and scalar objective used for the per-generation
+        statistics and the final result assembly (strategies receive their
+        own copies, typically the same objects).
+    platform:
+        Platform the constraints are checked against; defaults to the
+        evaluator's platform.
+    """
+
+    def __init__(
+        self,
+        evaluator: ConfigEvaluator,
+        backend: Optional[EvaluationBackend] = None,
+        cache: Optional[EvaluationCache] = None,
+        constraints: Optional[SearchConstraints] = None,
+        objective: Callable[[EvaluatedConfig], float] = paper_objective,
+        platform=None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.backend = backend if backend is not None else SerialBackend(evaluator)
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.constraints = constraints if constraints is not None else SearchConstraints()
+        self.objective = objective
+        self.platform = platform if platform is not None else evaluator.platform
+
+    # -- evaluation --------------------------------------------------------------
+    def evaluate_batch(self, configs: Sequence[MappingConfig]) -> List[EvaluatedConfig]:
+        """Resolve a batch through the cache, evaluating only the remainder.
+
+        Duplicate configurations inside one batch are evaluated once; results
+        come back in the order of ``configs``.
+        """
+        return self._evaluate_with_digests(configs)[0]
+
+    def _evaluate_with_digests(
+        self, configs: Sequence[MappingConfig]
+    ) -> Tuple[List[EvaluatedConfig], List[str]]:
+        """:meth:`evaluate_batch` plus each result's content digest.
+
+        A lookup is a hit whenever it avoids an evaluation: found in the
+        cache, or a duplicate of an earlier config in the same batch
+        (resolved or still pending).  Each distinct uncached configuration
+        counts as exactly one miss.
+        """
+        digests = [self.evaluator.content_digest(config) for config in configs]
+        resolved: Dict[str, EvaluatedConfig] = {}
+        pending_configs: List[MappingConfig] = []
+        pending_digests: List[str] = []
+        pending_set = set()
+        for config, digest in zip(configs, digests):
+            if digest in resolved or digest in pending_set:
+                self.cache.stats.hits += 1
+                continue
+            cached = self.cache.lookup(digest)
+            if cached is not None:
+                resolved[digest] = cached
+            else:
+                pending_set.add(digest)
+                pending_configs.append(config)
+                pending_digests.append(digest)
+        if pending_configs:
+            fresh = self.backend.evaluate(pending_configs)
+            for digest, item in zip(pending_digests, fresh):
+                self.cache.store(digest, item)
+                resolved[digest] = item
+        return [resolved[digest] for digest in digests], digests
+
+    # -- the loop ----------------------------------------------------------------
+    def run(self, strategy: SearchStrategy) -> SearchResult:
+        """Run ``strategy`` to exhaustion and assemble the search result."""
+        history: List[EvaluatedConfig] = []
+        seen_digests = set()
+        stats: List[GenerationStats] = []
+        generation = 0
+        while True:
+            population = strategy.ask()
+            if not population:
+                break
+            window = self.cache.stats.snapshot()
+            started = time.perf_counter()
+            evaluated, digests = self._evaluate_with_digests(population)
+            wall_clock_s = time.perf_counter() - started
+            hit_rate = self.cache.stats.window_hit_rate(window)
+            for item, digest in zip(evaluated, digests):
+                if digest not in seen_digests:
+                    seen_digests.add(digest)
+                    history.append(item)
+            feasible = [
+                item
+                for item in evaluated
+                if self.constraints.is_feasible(item, platform=self.platform)
+            ]
+            ranked_pool = feasible if feasible else evaluated
+            best = min(ranked_pool, key=self.objective)
+            stats.append(
+                GenerationStats(
+                    generation=generation,
+                    evaluated=len(evaluated),
+                    feasible=len(feasible),
+                    best_objective=float(self.objective(best)),
+                    best_latency_ms=best.latency_ms,
+                    best_energy_mj=best.energy_mj,
+                    best_accuracy=best.accuracy,
+                    cache_hit_rate=hit_rate,
+                    wall_clock_s=wall_clock_s,
+                )
+            )
+            strategy.tell(evaluated)
+            generation += 1
+        if not history:
+            raise SearchError("strategy proposed no configurations to evaluate")
+        return self._assemble(history, stats)
+
+    # -- result assembly ---------------------------------------------------------
+    def _assemble(
+        self, history: List[EvaluatedConfig], stats: List[GenerationStats]
+    ) -> SearchResult:
+        all_feasible: Tuple[EvaluatedConfig, ...] = tuple(
+            item
+            for item in history
+            if self.constraints.is_feasible(item, platform=self.platform)
+        )
+        candidate_pool = all_feasible if all_feasible else tuple(history)
+        front = tuple(pareto_front(list(candidate_pool)))
+        best_overall = min(candidate_pool, key=self.objective)
+        return SearchResult(
+            history=tuple(history),
+            feasible=all_feasible,
+            pareto=front,
+            best=best_overall,
+            generations=tuple(stats),
+        )

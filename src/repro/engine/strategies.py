@@ -1,0 +1,160 @@
+"""Search strategies behind a small ask/tell protocol.
+
+A :class:`SearchStrategy` proposes batches of configurations (``ask``) and
+learns from their evaluations (``tell``); it never evaluates anything itself.
+That inversion — the engine owns evaluation, the strategy owns variation and
+selection — is what lets one evolutionary loop run unchanged on a serial
+backend, a process pool, or a persistent cache.
+
+Strategies provided here:
+
+* :class:`EvolutionaryStrategy` — the paper's elite-selection loop (Fig. 5),
+  ported verbatim from the seed's ``EvolutionarySearch``: identical RNG
+  consumption, identical populations, identical results for a given seed.
+* :class:`RandomStrategy` — uniform random sampling at the same budget, the
+  sanity-check baseline every optimiser must beat.
+
+The NSGA-II strategy lives in :mod:`repro.engine.nsga`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..errors import SearchError
+from ..search.constraints import SearchConstraints
+from ..search.evaluation import EvaluatedConfig
+from ..search.objectives import paper_objective
+from ..search.operators import crossover, mutate
+from ..search.space import MappingConfig, SearchSpace
+from ..utils import as_rng
+
+__all__ = ["SearchStrategy", "EvolutionaryStrategy", "RandomStrategy"]
+
+
+class SearchStrategy:
+    """Ask/tell interface every optimiser implements.
+
+    The engine alternates ``ask`` / ``tell`` until ``ask`` returns an empty
+    batch, then assembles the :class:`~repro.search.evolutionary.SearchResult`
+    from everything evaluated along the way.
+    """
+
+    def ask(self) -> List[MappingConfig]:
+        """Propose the next batch of configurations (empty when done)."""
+        raise NotImplementedError
+
+    def tell(self, evaluated: List[EvaluatedConfig]) -> None:
+        """Ingest the evaluations of the batch returned by the last ``ask``."""
+        raise NotImplementedError
+
+
+def _check_common_budget(population_size: int, generations: int) -> None:
+    if population_size < 2:
+        raise SearchError(f"population_size must be >= 2, got {population_size}")
+    if generations < 1:
+        raise SearchError(f"generations must be >= 1, got {generations}")
+
+
+class EvolutionaryStrategy(SearchStrategy):
+    """Elite-selection evolutionary loop of Fig. 5 as an ask/tell strategy.
+
+    This is the seed's ``EvolutionarySearch`` loop with evaluation carved
+    out: sampling, ranking, elitism, crossover, mutation and fresh-sample
+    top-up are unchanged and consume the RNG in the same order, so a given
+    seed reproduces the seed repository's populations bit for bit.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        objective: Callable[[EvaluatedConfig], float] = paper_objective,
+        constraints: Optional[SearchConstraints] = None,
+        population_size: int = 60,
+        generations: int = 200,
+        elite_fraction: float = 0.25,
+        mutation_rate: float = 0.8,
+        fresh_fraction: float = 0.10,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        _check_common_budget(population_size, generations)
+        if not 0 < elite_fraction <= 1:
+            raise SearchError(f"elite_fraction must lie in (0, 1], got {elite_fraction}")
+        if not 0 <= mutation_rate <= 1:
+            raise SearchError(f"mutation_rate must lie in [0, 1], got {mutation_rate}")
+        if not 0 <= fresh_fraction < 1:
+            raise SearchError(f"fresh_fraction must lie in [0, 1), got {fresh_fraction}")
+        self.space = space
+        self.objective = objective
+        self.constraints = constraints if constraints is not None else SearchConstraints()
+        self.population_size = population_size
+        self.generations = generations
+        self.elite_fraction = elite_fraction
+        self.mutation_rate = mutation_rate
+        self.fresh_fraction = fresh_fraction
+        self._rng = as_rng(seed)
+        self._generation = 0
+        self._population: Optional[List[MappingConfig]] = None
+
+    def ask(self) -> List[MappingConfig]:
+        if self._generation >= self.generations:
+            return []
+        if self._population is None:
+            self._population = self.space.population(self.population_size, self._rng)
+        return list(self._population)
+
+    def tell(self, evaluated: List[EvaluatedConfig]) -> None:
+        feasible = [
+            item
+            for item in evaluated
+            if self.constraints.is_feasible(item, platform=self.space.platform)
+        ]
+        ranked = sorted(feasible if feasible else list(evaluated), key=self.objective)
+        self._generation += 1
+        if self._generation < self.generations:
+            self._population = self._next_population(ranked)
+
+    # -- internals ---------------------------------------------------------------
+    def _next_population(self, ranked: List[EvaluatedConfig]) -> List[MappingConfig]:
+        elite_count = max(1, int(round(self.elite_fraction * len(ranked))))
+        elites = [item.config for item in ranked[:elite_count]]
+        fresh_count = int(round(self.fresh_fraction * self.population_size))
+        population: List[MappingConfig] = list(elites)
+        while len(population) < self.population_size - fresh_count:
+            parent_a = elites[int(self._rng.integers(0, len(elites)))]
+            parent_b = elites[int(self._rng.integers(0, len(elites)))]
+            child = crossover(parent_a, parent_b, self.space, self._rng)
+            if self._rng.random() < self.mutation_rate:
+                child = mutate(child, self.space, self._rng)
+            population.append(child)
+        while len(population) < self.population_size:
+            population.append(self.space.sample(self._rng))
+        return population
+
+
+class RandomStrategy(SearchStrategy):
+    """Uniform random search at the same ``generations x population`` budget."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        population_size: int = 60,
+        generations: int = 200,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        _check_common_budget(population_size, generations)
+        self.space = space
+        self.population_size = population_size
+        self.generations = generations
+        self._rng = as_rng(seed)
+        self._generation = 0
+
+    def ask(self) -> List[MappingConfig]:
+        if self._generation >= self.generations:
+            return []
+        return self.space.population(self.population_size, self._rng)
+
+    def tell(self, evaluated: List[EvaluatedConfig]) -> None:
+        self._generation += 1

@@ -12,7 +12,7 @@ objective of Eq. 16).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence, Tuple
 
 from ..errors import ConfigurationError

@@ -18,7 +18,7 @@ operations into the preceding kernel on the Jetson platform used by the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 from ..errors import ConfigurationError

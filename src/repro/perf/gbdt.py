@@ -12,7 +12,7 @@ rows, for which exact greedy splitting is more than fast enough.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

@@ -18,6 +18,8 @@ XGBoost predictor inside the loop.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -114,6 +116,24 @@ def _config_key(config: MappingConfig) -> Tuple:
     )
 
 
+def _ranking_fingerprint(ranking: ChannelRanking) -> str:
+    """Stable digest of a channel ranking's full content (scores *and* order).
+
+    Two rankings synthesised from different seeds produce different score
+    vectors, so hashing the scores captures the seed without needing to store
+    it; the order arrays are hashed too because an externally supplied
+    ranking may pair identical scores with a different channel ordering,
+    which changes coverage and therefore every evaluated accuracy.
+    """
+    digest = hashlib.sha256()
+    digest.update(ranking.network_name.encode("utf-8"))
+    for layer_name in ranking.layer_names():
+        digest.update(layer_name.encode("utf-8"))
+        digest.update(np.asarray(ranking.scores[layer_name], dtype=float).tobytes())
+        digest.update(np.asarray(ranking.order[layer_name], dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
 class ConfigEvaluator:
     """Evaluate mapping configurations for one network on one platform.
 
@@ -151,20 +171,93 @@ class ConfigEvaluator:
     ) -> None:
         self.network = network
         self.platform = platform
+        self.cost_model = cost_model
         self.accuracy_model = accuracy_model if accuracy_model is not None else AccuracyModel()
         self.ranking = ranking if ranking is not None else rank_channels(network, seed=seed)
-        self.reorder_channels = reorder_channels
+        self.reorder_channels = bool(reorder_channels)
         self.validation_samples = int(validation_samples)
+        self.seed = int(seed)
         self._mapping_evaluator = MappingEvaluator(platform, cost_model=cost_model)
+        # Fingerprint the *effective* cost model (the mapping evaluator
+        # substitutes the analytical oracle for None) now, before any
+        # stateful use can advance internal RNGs: class plus full pickled
+        # state, so two surrogates trained differently or two noise levels
+        # never alias cache entries.  Fixed protocol keeps the digest stable
+        # across Python versions for persistent caches.  An unpicklable
+        # custom model still works: its fallback fingerprint is unique per
+        # instance, which forgoes cache sharing but can never alias.
+        effective_cost_model = self._mapping_evaluator.cost_model
+        try:
+            state_digest = hashlib.sha256(
+                pickle.dumps(effective_cost_model, protocol=4)
+            ).hexdigest()
+        except Exception:  # noqa: BLE001 - arbitrary user models may not pickle
+            state_digest = f"unpicklable-{id(effective_cost_model):#x}"
+        self._cost_model_fingerprint = (
+            type(effective_cost_model).__name__,
+            state_digest,
+        )
         self._cache: Dict[Tuple, EvaluatedConfig] = {}
+        self._identity: Optional[Tuple] = None
 
     @property
     def evaluations(self) -> int:
         """Number of distinct configurations evaluated so far."""
         return len(self._cache)
 
+    # -- content identity --------------------------------------------------------
+    def identity_key(self) -> Tuple:
+        """Hashable identity of this evaluator's *configuration*.
+
+        Two evaluators that would score the same :class:`MappingConfig`
+        differently (different network, platform, channel ranking, reordering
+        flag, accuracy model, cost model or validation budget) must never
+        alias cache entries, so all of those feed the key.  The cost model
+        contributes its construction-time state digest, so surrogates trained
+        on different data and noise models with different levels are
+        discriminated too.
+        """
+        if self._identity is None:
+            self._identity = (
+                self.network.name,
+                self.platform.name,
+                _ranking_fingerprint(self.ranking),
+                self.reorder_channels,
+                repr(self.accuracy_model),
+                self._cost_model_fingerprint,
+                self.validation_samples,
+            )
+        return self._identity
+
+    def config_key(self, config: MappingConfig) -> Tuple:
+        """Full content key of ``config`` *as seen by this evaluator*.
+
+        Unlike the bare configuration key, this includes the evaluator
+        identity (channel ranking, ``reorder_channels``, ...) so results from
+        differently configured evaluators can share one cache without
+        aliasing.
+        """
+        return _config_key(config) + self.identity_key()
+
+    def content_digest(self, config: MappingConfig) -> str:
+        """Stable hex digest of :meth:`config_key`, for persistent caches."""
+        digest = hashlib.sha256()
+        for part in self.config_key(config):
+            if isinstance(part, bytes):
+                digest.update(part)
+            else:
+                digest.update(repr(part).encode("utf-8"))
+        return digest.hexdigest()
+
     def evaluate(self, config: MappingConfig) -> EvaluatedConfig:
-        """Run the full pipeline for ``config`` (cached)."""
+        """Run the full pipeline for ``config`` (cached).
+
+        The private per-instance cache keys on the bare configuration: the
+        evaluator identity is constant here, so including it would cost hash
+        work for zero discrimination.  Caches *shared between* evaluators
+        (the engine's :class:`~repro.engine.cache.EvaluationCache`) key on
+        :meth:`content_digest`, which does include the identity.
+        """
         key = _config_key(config)
         cached = self._cache.get(key)
         if cached is not None:

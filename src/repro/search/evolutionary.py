@@ -11,26 +11,28 @@ configurations is computed (Sect. V-C).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
 
 from ..errors import SearchError
 from ..utils import as_rng
 from .constraints import SearchConstraints
 from .evaluation import ConfigEvaluator, EvaluatedConfig
 from .objectives import paper_objective
-from .operators import crossover, mutate
-from .pareto import pareto_front
-from .space import MappingConfig, SearchSpace
+from .space import SearchSpace
 
 __all__ = ["GenerationStats", "SearchResult", "EvolutionarySearch"]
 
 
 @dataclass(frozen=True)
 class GenerationStats:
-    """Aggregate statistics of one generation, for convergence analysis."""
+    """Aggregate statistics of one generation, for convergence analysis.
+
+    ``cache_hit_rate`` and ``wall_clock_s`` are engine telemetry: the
+    fraction of this generation's evaluations served from the shared
+    evaluation cache, and the wall-clock time the generation's evaluation
+    took (including dispatch to parallel backends).
+    """
 
     generation: int
     evaluated: int
@@ -39,6 +41,8 @@ class GenerationStats:
     best_latency_ms: float
     best_energy_mj: float
     best_accuracy: float
+    cache_hit_rate: float = 0.0
+    wall_clock_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -119,70 +123,39 @@ class EvolutionarySearch:
 
     # -- public API ---------------------------------------------------------------
     def run(self) -> SearchResult:
-        """Run the full search and return its result."""
-        population = self.space.population(self.population_size, self._rng)
-        history: List[EvaluatedConfig] = []
-        seen_keys = set()
-        stats: List[GenerationStats] = []
+        """Run the full search and return its result.
 
-        for generation in range(self.generations):
-            evaluated = self.evaluator.evaluate_many(population)
-            for item in evaluated:
-                key = id(item)
-                if key not in seen_keys:
-                    seen_keys.add(key)
-                    history.append(item)
-            feasible = [
-                item
-                for item in evaluated
-                if self.constraints.is_feasible(item, platform=self.space.platform)
-            ]
-            ranked_pool = feasible if feasible else evaluated
-            ranked = sorted(ranked_pool, key=self.objective)
-            best = ranked[0]
-            stats.append(
-                GenerationStats(
-                    generation=generation,
-                    evaluated=len(evaluated),
-                    feasible=len(feasible),
-                    best_objective=float(self.objective(best)),
-                    best_latency_ms=best.latency_ms,
-                    best_energy_mj=best.energy_mj,
-                    best_accuracy=best.accuracy,
-                )
-            )
-            if generation + 1 < self.generations:
-                population = self._next_population(ranked)
+        Since the engine refactor this is a thin composition: the loop's
+        sampling/selection logic lives in
+        :class:`~repro.engine.strategies.EvolutionaryStrategy` (same RNG
+        consumption, bit-for-bit identical populations for a given seed) and
+        evaluation, caching and history bookkeeping live in
+        :class:`~repro.engine.engine.SearchEngine`.  History deduplication is
+        by the evaluator's content key, so ``num_evaluations`` stays correct
+        even with backends that do not share the evaluator's object cache.
+        """
+        # Imported here: the engine package depends on this module for the
+        # result types, so a module-level import would be circular.
+        from ..engine.backends import SerialBackend
+        from ..engine.engine import SearchEngine
+        from ..engine.strategies import EvolutionaryStrategy
 
-        all_feasible = tuple(
-            item
-            for item in history
-            if self.constraints.is_feasible(item, platform=self.space.platform)
+        strategy = EvolutionaryStrategy(
+            space=self.space,
+            objective=self.objective,
+            constraints=self.constraints,
+            population_size=self.population_size,
+            generations=self.generations,
+            elite_fraction=self.elite_fraction,
+            mutation_rate=self.mutation_rate,
+            fresh_fraction=self.fresh_fraction,
+            seed=self._rng,
         )
-        candidate_pool = all_feasible if all_feasible else tuple(history)
-        front = tuple(pareto_front(list(candidate_pool)))
-        best_overall = min(candidate_pool, key=self.objective)
-        return SearchResult(
-            history=tuple(history),
-            feasible=all_feasible,
-            pareto=front,
-            best=best_overall,
-            generations=tuple(stats),
+        engine = SearchEngine(
+            evaluator=self.evaluator,
+            backend=SerialBackend(self.evaluator),
+            constraints=self.constraints,
+            objective=self.objective,
+            platform=self.space.platform,
         )
-
-    # -- internals ------------------------------------------------------------------
-    def _next_population(self, ranked: List[EvaluatedConfig]) -> List[MappingConfig]:
-        elite_count = max(1, int(round(self.elite_fraction * len(ranked))))
-        elites = [item.config for item in ranked[:elite_count]]
-        fresh_count = int(round(self.fresh_fraction * self.population_size))
-        population: List[MappingConfig] = list(elites)
-        while len(population) < self.population_size - fresh_count:
-            parent_a = elites[int(self._rng.integers(0, len(elites)))]
-            parent_b = elites[int(self._rng.integers(0, len(elites)))]
-            child = crossover(parent_a, parent_b, self.space, self._rng)
-            if self._rng.random() < self.mutation_rate:
-                child = mutate(child, self.space, self._rng)
-            population.append(child)
-        while len(population) < self.population_size:
-            population.append(self.space.sample(self._rng))
-        return population
+        return engine.run(strategy)

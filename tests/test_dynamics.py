@@ -10,7 +10,6 @@ from repro.dynamics.samples import compute_exit_statistics
 from repro.errors import ConfigurationError
 from repro.nn.multiexit import build_dynamic_network
 from repro.nn.partition import IndicatorMatrix, PartitionMatrix
-from repro.perf.evaluator import MappingEvaluator
 
 
 class TestAccuracyModel:

@@ -1,0 +1,261 @@
+"""Tests for the evaluation cache, content keys and JSONL persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.cache import CacheStats, EvaluationCache
+from repro.errors import ConfigurationError
+from repro.search.evaluation import ConfigEvaluator
+
+
+@pytest.fixture()
+def evaluated_pair(tiny_config_evaluator, tiny_space):
+    """Two distinct evaluated configurations plus their digests."""
+    config_a = tiny_space.sample(0)
+    config_b = tiny_space.sample(1)
+    return (
+        (tiny_config_evaluator.content_digest(config_a), tiny_config_evaluator.evaluate(config_a)),
+        (tiny_config_evaluator.content_digest(config_b), tiny_config_evaluator.evaluate(config_b)),
+    )
+
+
+class TestContentKeys:
+    def test_same_config_same_key(self, tiny_config_evaluator, tiny_space):
+        config = tiny_space.sample(0)
+        assert tiny_config_evaluator.config_key(config) == tiny_config_evaluator.config_key(config)
+        assert tiny_config_evaluator.content_digest(config) == tiny_config_evaluator.content_digest(
+            config
+        )
+
+    def test_distinct_configs_distinct_keys(self, tiny_config_evaluator, tiny_space):
+        config_a, config_b = tiny_space.sample(0), tiny_space.sample(1)
+        assert tiny_config_evaluator.config_key(config_a) != tiny_config_evaluator.config_key(
+            config_b
+        )
+
+    def test_reorder_channels_feeds_the_key(self, tiny_network, platform, tiny_space):
+        """Two evaluators differing only in ``reorder_channels`` never alias."""
+        config = tiny_space.sample(0)
+        with_reorder = ConfigEvaluator(network=tiny_network, platform=platform, seed=0)
+        without_reorder = ConfigEvaluator(
+            network=tiny_network, platform=platform, reorder_channels=False, seed=0
+        )
+        assert with_reorder.config_key(config) != without_reorder.config_key(config)
+        assert with_reorder.content_digest(config) != without_reorder.content_digest(config)
+
+    def test_ranking_seed_feeds_the_key(self, tiny_network, platform, tiny_space):
+        """Two evaluators with differently seeded rankings never alias."""
+        config = tiny_space.sample(0)
+        seeded_zero = ConfigEvaluator(network=tiny_network, platform=platform, seed=0)
+        seeded_seven = ConfigEvaluator(network=tiny_network, platform=platform, seed=7)
+        assert seeded_zero.config_key(config) != seeded_seven.config_key(config)
+
+    def test_ranking_order_feeds_the_key(self, tiny_network, platform, tiny_space, tiny_ranking):
+        """Equal scores with a different channel order never alias."""
+        from repro.nn.channels import ChannelRanking
+
+        reordered = ChannelRanking(
+            network_name=tiny_ranking.network_name,
+            scores=tiny_ranking.scores,
+            order={name: order[::-1] for name, order in tiny_ranking.order.items()},
+        )
+        config = tiny_space.sample(0)
+        original = ConfigEvaluator(
+            network=tiny_network, platform=platform, ranking=tiny_ranking, seed=0
+        )
+        flipped = ConfigEvaluator(
+            network=tiny_network, platform=platform, ranking=reordered, seed=0
+        )
+        assert original.content_digest(config) != flipped.content_digest(config)
+
+    def test_validation_samples_feed_the_key(self, tiny_network, platform, tiny_space):
+        config = tiny_space.sample(0)
+        few = ConfigEvaluator(
+            network=tiny_network, platform=platform, validation_samples=100, seed=0
+        )
+        many = ConfigEvaluator(
+            network=tiny_network, platform=platform, validation_samples=500, seed=0
+        )
+        assert few.config_key(config) != many.config_key(config)
+
+    def test_digest_stable_across_evaluator_instances(self, tiny_network, platform, tiny_space):
+        """Identically configured evaluators agree on digests (persistence)."""
+        config = tiny_space.sample(3)
+        first = ConfigEvaluator(network=tiny_network, platform=platform, seed=0)
+        second = ConfigEvaluator(network=tiny_network, platform=platform, seed=0)
+        assert first.content_digest(config) == second.content_digest(config)
+
+    def test_cost_model_parameters_feed_the_key(self, tiny_network, platform, tiny_space):
+        """Same-class cost models with different state never alias."""
+        from repro.perf.layer_cost import NoisyCostModel
+
+        config = tiny_space.sample(0)
+        mild = ConfigEvaluator(
+            network=tiny_network,
+            platform=platform,
+            cost_model=NoisyCostModel(noise_std=0.01, seed=0),
+            seed=0,
+        )
+        wild = ConfigEvaluator(
+            network=tiny_network,
+            platform=platform,
+            cost_model=NoisyCostModel(noise_std=0.3, seed=0),
+            seed=0,
+        )
+        assert mild.config_key(config) != wild.config_key(config)
+
+    def test_unpicklable_cost_model_still_constructs(self, tiny_network, platform, tiny_space):
+        """Custom models that cannot pickle keep working (unique fingerprint)."""
+        from repro.perf.layer_cost import AnalyticalCostModel
+
+        class OpaqueModel(AnalyticalCostModel):
+            def __init__(self):
+                super().__init__()
+                self.hook = lambda value: value  # lambdas do not pickle
+
+        evaluator = ConfigEvaluator(
+            network=tiny_network, platform=platform, cost_model=OpaqueModel(), seed=0
+        )
+        config = tiny_space.sample(0)
+        assert evaluator.evaluate(config).latency_ms > 0
+        assert "unpicklable" in evaluator.identity_key()[5][1]
+
+
+class TestCacheStats:
+    def test_hit_rate_of_unused_cache_is_zero(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_window_hit_rate(self):
+        stats = CacheStats()
+        stats.misses = 4
+        snapshot = stats.snapshot()
+        stats.hits += 3
+        stats.misses += 1
+        assert stats.window_hit_rate(snapshot) == pytest.approx(0.75)
+        assert stats.hit_rate == pytest.approx(3 / 8)
+
+
+class TestEvaluationCache:
+    def test_lookup_miss_then_hit(self, evaluated_pair):
+        (digest, value), _ = evaluated_pair
+        cache = EvaluationCache()
+        assert cache.lookup(digest) is None
+        cache.store(digest, value)
+        assert cache.lookup(digest) is value
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert len(cache) == 1
+        assert digest in cache
+
+    def test_peek_does_not_count(self, evaluated_pair):
+        (digest, value), _ = evaluated_pair
+        cache = EvaluationCache()
+        cache.store(digest, value)
+        assert cache.peek(digest) is value
+        assert cache.stats.lookups == 0
+
+    def test_store_rejects_foreign_values(self):
+        cache = EvaluationCache()
+        with pytest.raises(ConfigurationError):
+            cache.store("deadbeef", "not an EvaluatedConfig")
+
+    def test_duplicate_store_is_idempotent(self, evaluated_pair, tmp_path):
+        (digest, value), _ = evaluated_pair
+        cache = EvaluationCache(path=tmp_path / "cache.jsonl")
+        cache.store(digest, value)
+        cache.store(digest, value)
+        assert len((tmp_path / "cache.jsonl").read_text().splitlines()) == 1
+
+
+class TestPersistence:
+    def test_round_trip(self, evaluated_pair, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        writer = EvaluationCache(path=path)
+        for digest, value in evaluated_pair:
+            writer.store(digest, value)
+
+        reader = EvaluationCache(path=path)
+        assert reader.stats.loaded == 2
+        for digest, value in evaluated_pair:
+            restored = reader.lookup(digest)
+            assert restored is not None
+            assert restored.latency_ms == pytest.approx(value.latency_ms)
+            assert restored.energy_mj == pytest.approx(value.energy_mj)
+            assert restored.accuracy == pytest.approx(value.accuracy)
+
+    def test_lines_are_valid_json_with_metrics(self, evaluated_pair, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = EvaluationCache(path=path)
+        (digest, value), _ = evaluated_pair
+        cache.store(digest, value)
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["key"] == digest
+        assert record["metrics"]["latency_ms"] == pytest.approx(value.latency_ms)
+        assert "payload" in record
+
+    def test_corrupt_lines_are_skipped(self, evaluated_pair, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = EvaluationCache(path=path)
+        (digest, value), _ = evaluated_pair
+        cache.store(digest, value)
+        with path.open("a") as stream:
+            stream.write("{not json}\n")
+            stream.write(json.dumps({"version": 99, "key": "x", "payload": ""}) + "\n")
+            # Valid version but no "key" field (foreign writer).
+            stream.write(json.dumps({"version": 1, "payload": "AAAA"}) + "\n")
+            # Valid shape but the payload is not an EvaluatedConfig pickle.
+            import base64
+            import pickle
+
+            stream.write(
+                json.dumps(
+                    {
+                        "version": 1,
+                        "key": "y",
+                        "payload": base64.b64encode(pickle.dumps([1, 2])).decode(),
+                    }
+                )
+                + "\n"
+            )
+        reader = EvaluationCache(path=path)
+        assert reader.stats.loaded == 1
+        assert reader.peek(digest) is not None
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        cache = EvaluationCache(path=tmp_path / "nonexistent.jsonl")
+        assert len(cache) == 0
+
+
+class TestFrameworkSharedCache:
+    def test_repeat_search_on_one_framework_hits_shared_cache(self, tiny_network, platform):
+        from repro.core.framework import MapAndConquer
+        from repro.search.objectives import paper_objective
+
+        framework = MapAndConquer(tiny_network, platform, seed=0)
+        first = framework.search(generations=3, population_size=8, seed=0)
+        second = framework.search(generations=3, population_size=8, seed=0)
+        assert paper_objective(second.best) == paper_objective(first.best)
+        assert all(stat.cache_hit_rate == 1.0 for stat in second.generations)
+        assert len(framework.evaluation_cache) == first.num_evaluations
+
+
+class TestWarmSearches:
+    def test_second_run_is_all_hits_and_identical(self, tiny_network, platform, tmp_path):
+        from repro.core.framework import MapAndConquer
+        from repro.search.objectives import paper_objective
+
+        path = tmp_path / "cache.jsonl"
+        cold = MapAndConquer(tiny_network, platform, seed=0).search(
+            generations=3, population_size=8, seed=0, cache=str(path)
+        )
+        warm = MapAndConquer(tiny_network, platform, seed=0).search(
+            generations=3, population_size=8, seed=0, cache=str(path)
+        )
+        assert paper_objective(warm.best) == paper_objective(cold.best)
+        assert all(stat.cache_hit_rate == 1.0 for stat in warm.generations)
+        assert [s.best_objective for s in warm.generations] == [
+            s.best_objective for s in cold.generations
+        ]

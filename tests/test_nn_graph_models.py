@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.nn.graph import NetworkGraph
-from repro.nn.layers import Conv2dLayer, LinearLayer
+from repro.nn.layers import Conv2dLayer
 from repro.nn.models import MODEL_BUILDERS, build_model, resnet20, vgg19, visformer
 
 

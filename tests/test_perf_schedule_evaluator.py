@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import MappingError
 from repro.nn.multiexit import build_dynamic_network
 from repro.nn.partition import IndicatorMatrix, PartitionMatrix
-from repro.perf.evaluator import MappingEvaluator
 from repro.perf.layer_cost import AnalyticalCostModel
 from repro.perf.schedule import simulate_schedule
 
