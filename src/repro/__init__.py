@@ -13,6 +13,10 @@ package provides:
 * the pluggable search engine: ask/tell strategies (evolutionary, NSGA-II,
   random), serial/process-pool evaluation backends and a persistent
   content-keyed evaluation cache (:mod:`repro.engine`),
+* the serving subsystem: a deterministic discrete-event traffic simulator
+  that deploys searched mappings behind per-compute-unit FIFO queues under
+  constant/Poisson/bursty/diurnal arrival scenarios, with load-adaptive
+  mapping switching and DVFS governing (:mod:`repro.serving`),
 * the high-level :class:`~repro.core.framework.MapAndConquer` facade and
   report helpers (:mod:`repro.core`).
 
@@ -39,9 +43,19 @@ from .engine import (
 from .nn.models import build_model, resnet20, vgg19, visformer
 from .search.constraints import SearchConstraints
 from .search.space import MappingConfig, SearchSpace
+from .serving import (
+    AdaptiveSwitchPolicy,
+    Deployment,
+    DvfsGovernorPolicy,
+    OnOffBursts,
+    PoissonArrivals,
+    StaticPolicy,
+    TrafficSimulator,
+    rank_under_traffic,
+)
 from .soc.platform import Platform, jetson_agx_xavier
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MapAndConquer",
@@ -62,5 +76,13 @@ __all__ = [
     "EvolutionaryStrategy",
     "NSGA2Strategy",
     "RandomStrategy",
+    "Deployment",
+    "TrafficSimulator",
+    "StaticPolicy",
+    "AdaptiveSwitchPolicy",
+    "DvfsGovernorPolicy",
+    "PoissonArrivals",
+    "OnOffBursts",
+    "rank_under_traffic",
     "__version__",
 ]

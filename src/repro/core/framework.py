@@ -336,6 +336,68 @@ class MapAndConquer:
             "or an EvaluationBackend instance"
         )
 
+    # -- serving under traffic --------------------------------------------------------
+    def simulate_traffic(
+        self,
+        candidate,
+        workload,
+        duration_ms: Optional[float] = None,
+        policy=None,
+        controller=None,
+        seed: int = 0,
+        deadline_ms: Optional[float] = None,
+    ):
+        """Deploy one mapping (or a serving policy) under a traffic scenario.
+
+        Thin wrapper over :func:`repro.serving.bridge.simulate_deployment`
+        bound to this framework's platform; returns the full
+        :class:`~repro.serving.simulator.ServingResult` (call ``.metrics()``
+        for the percentile/throughput aggregates).
+        """
+        from ..serving.bridge import simulate_deployment
+
+        return simulate_deployment(
+            candidate,
+            self.platform,
+            workload,
+            duration_ms=duration_ms,
+            policy=policy,
+            controller=controller,
+            seed=seed,
+            deadline_ms=deadline_ms,
+        )
+
+    def rank_under_traffic(
+        self,
+        candidates: Sequence[EvaluatedConfig],
+        workload,
+        duration_ms: Optional[float] = None,
+        metric: str = "p99_latency_ms",
+        controller=None,
+        seed: int = 0,
+        deadline_ms: Optional[float] = None,
+    ):
+        """Re-rank searched mappings by simulated serving behaviour.
+
+        The isolated Table II averages that drive :meth:`search` ignore
+        contention; this replays one seeded scenario against every candidate
+        (identical arrivals and difficulty stream) and sorts by ``metric``
+        (default: p99 latency under traffic), best first.  See
+        :func:`repro.serving.bridge.rank_under_traffic`.
+        """
+        from ..serving.bridge import rank_under_traffic
+
+        return rank_under_traffic(
+            list(candidates),
+            self.platform,
+            workload,
+            duration_ms=duration_ms,
+            metric=metric,
+            controller=controller,
+            seed=seed,
+            deadline_ms=deadline_ms,
+        )
+
     # -- Pareto selection -------------------------------------------------------------
     def pareto(self, evaluated: Sequence[EvaluatedConfig]) -> list:
         """Non-dominated subset of ``evaluated``."""

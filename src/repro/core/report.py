@@ -21,6 +21,8 @@ __all__ = [
     "comparison_row",
     "convergence_table",
     "search_summary",
+    "serving_table",
+    "serving_summary",
 ]
 
 
@@ -121,6 +123,40 @@ def convergence_table(result: SearchResult, every: int = 1) -> str:
         for s in selected
     ]
     return format_table(rows)
+
+
+def serving_table(metrics_list) -> str:
+    """Side-by-side percentile table of serving runs (one row per policy/run).
+
+    Accepts :class:`~repro.serving.metrics.ServingMetrics` instances (their
+    ``summary_row`` views are rendered) or ready-made row dictionaries.
+    """
+    rows = [
+        metrics.summary_row() if hasattr(metrics, "summary_row") else dict(metrics)
+        for metrics in metrics_list
+    ]
+    return format_table(rows)
+
+
+def serving_summary(metrics) -> str:
+    """One-paragraph summary of a single serving run."""
+    utilisation = ", ".join(
+        f"{name} {100.0 * value:.0f}%" for name, value in sorted(metrics.utilisation.items())
+    )
+    lines = [
+        f"{metrics.policy}: {metrics.num_requests} requests over "
+        f"{metrics.duration_ms / 1000.0:.1f}s ({metrics.throughput_rps:.1f} req/s)",
+        f"latency p50/p95/p99 {metrics.p50_latency_ms:.2f}/{metrics.p95_latency_ms:.2f}/"
+        f"{metrics.p99_latency_ms:.2f} ms (mean {metrics.mean_latency_ms:.2f} ms, "
+        f"queueing {metrics.mean_queueing_ms:.2f} ms)",
+        f"deadline misses {100.0 * metrics.deadline_miss_rate:.2f}%, "
+        f"accuracy {100.0 * metrics.accuracy:.1f}%, "
+        f"energy {metrics.energy_per_request_mj:.2f} mJ/request "
+        f"({metrics.total_energy_mj / 1000.0:.2f} J total)",
+        f"utilisation: {utilisation}; mean in-flight {metrics.mean_in_flight:.2f} "
+        f"(peak {metrics.peak_in_flight})",
+    ]
+    return "\n".join(lines)
 
 
 def search_summary(result: SearchResult) -> str:

@@ -19,7 +19,7 @@ inputs and what accuracy results":
 from .accuracy import AccuracyModel
 from .samples import ExitStatistics, compute_exit_statistics
 from .inference import DynamicInferenceResult, simulate_dynamic_inference
-from .controller import ControllerResult, ThresholdExitController
+from .controller import ControllerResult, ExitDecision, ThresholdExitController
 
 __all__ = [
     "AccuracyModel",
@@ -28,5 +28,6 @@ __all__ = [
     "DynamicInferenceResult",
     "simulate_dynamic_inference",
     "ControllerResult",
+    "ExitDecision",
     "ThresholdExitController",
 ]

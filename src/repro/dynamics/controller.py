@@ -32,7 +32,24 @@ from ..errors import ConfigurationError
 from ..perf.evaluator import HardwareProfile
 from ..utils import as_rng, check_fraction
 
-__all__ = ["ControllerResult", "ThresholdExitController"]
+__all__ = ["ControllerResult", "ExitDecision", "ThresholdExitController"]
+
+
+@dataclass(frozen=True)
+class ExitDecision:
+    """Outcome of the controller for one individual request.
+
+    ``stage`` is the terminating stage index, ``correct`` whether the exit's
+    prediction is right, ``premature`` whether the controller exited
+    confidently-wrong before a stage that could have classified the sample,
+    and ``escalated`` whether a correct-but-under-confident stage was passed
+    over (paying for extra stages).
+    """
+
+    stage: int
+    correct: bool
+    premature: bool
+    escalated: bool
 
 
 @dataclass(frozen=True)
@@ -82,6 +99,87 @@ class ThresholdExitController:
         self.confidence_noise = float(confidence_noise)
         self._rng = as_rng(seed)
 
+    # -- shared model pieces -----------------------------------------------------
+    @staticmethod
+    def _validated_accuracies(stage_accuracies: Sequence[float]) -> "list[float]":
+        """Validate the per-stage accuracy vector (non-empty, non-decreasing)."""
+        accuracies = [check_fraction(value, "stage accuracy") for value in stage_accuracies]
+        if not accuracies:
+            raise ConfigurationError("stage_accuracies must be non-empty")
+        if any(b < a - 1e-9 for a, b in zip(accuracies, accuracies[1:])):
+            raise ConfigurationError("stage accuracies must be non-decreasing")
+        return accuracies
+
+    def _confidence(
+        self, correct: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Noisy confidence estimates for a boolean correctness vector.
+
+        The single model both :meth:`simulate` and :meth:`decide` observe:
+        the true correctness probability, blurred by Gaussian noise, with
+        wrong predictions biased half a unit down, clipped to ``[0, 1]``.
+        """
+        return np.clip(
+            correct.astype(float)
+            + rng.normal(0.0, self.confidence_noise, size=correct.size)
+            - 0.5 * (~correct),
+            0.0,
+            1.0,
+        )
+
+    def decide(
+        self,
+        difficulty: float,
+        stage_accuracies: Sequence[float],
+        rng: "np.random.Generator | None" = None,
+    ) -> ExitDecision:
+        """Decide the terminating stage for one request of known difficulty.
+
+        This is the per-request counterpart of :meth:`simulate`, used by the
+        serving simulator (:mod:`repro.serving`) to make exit decisions in the
+        loop: the request is classifiable by stage ``i`` iff
+        ``difficulty <= stage_accuracies[i]``, and the controller exits at the
+        first stage whose (noisy) confidence clears the threshold.
+
+        Parameters
+        ----------
+        difficulty:
+            Latent difficulty of the request in ``[0, 1]``.
+        stage_accuracies:
+            Non-decreasing per-stage exit accuracies.
+        rng:
+            Random generator for the confidence noise; ``None`` uses the
+            controller's own stream.
+        """
+        check_fraction(difficulty, "difficulty")
+        accuracies = self._validated_accuracies(stage_accuracies)
+        generator = self._rng if rng is None else as_rng(rng)
+
+        escalated = False
+        last_stage = len(accuracies) - 1
+        for stage_index, stage_accuracy in enumerate(accuracies):
+            correct_here = bool(difficulty <= stage_accuracy)
+            if stage_index == last_stage:
+                return ExitDecision(
+                    stage=stage_index,
+                    correct=correct_here,
+                    premature=False,
+                    escalated=escalated,
+                )
+            confidence = float(
+                self._confidence(np.array([correct_here]), generator)[0]
+            )
+            if confidence >= self.threshold:
+                return ExitDecision(
+                    stage=stage_index,
+                    correct=correct_here,
+                    premature=not correct_here,
+                    escalated=escalated,
+                )
+            if correct_here:
+                escalated = True
+        raise AssertionError("unreachable: the final stage always exits")
+
     def simulate(
         self,
         stage_accuracies: Sequence[float],
@@ -101,11 +199,7 @@ class ThresholdExitController:
         num_samples:
             Monte-Carlo population size.
         """
-        accuracies = [check_fraction(value, "stage accuracy") for value in stage_accuracies]
-        if not accuracies:
-            raise ConfigurationError("stage_accuracies must be non-empty")
-        if any(b < a - 1e-9 for a, b in zip(accuracies, accuracies[1:])):
-            raise ConfigurationError("stage accuracies must be non-decreasing")
+        accuracies = self._validated_accuracies(stage_accuracies)
         if profile.num_stages != len(accuracies):
             raise ConfigurationError(
                 f"profile has {profile.num_stages} stages but {len(accuracies)} accuracies given"
@@ -131,13 +225,7 @@ class ThresholdExitController:
             if active.size == 0:
                 break
             correct_here = difficulty[active] <= stage_accuracy
-            confidence = np.clip(
-                correct_here.astype(float)
-                + self._rng.normal(0.0, self.confidence_noise, size=active.size)
-                - 0.5 * (~correct_here),
-                0.0,
-                1.0,
-            )
+            confidence = self._confidence(correct_here, self._rng)
             exit_now = confidence >= self.threshold if not is_last else np.ones_like(correct_here)
             exiting = active[exit_now]
             exits[exiting] = stage_index

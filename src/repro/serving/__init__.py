@@ -1,0 +1,66 @@
+"""Serving under load: a discrete-event traffic simulator for mappings.
+
+The paper evaluates each mapping on isolated samples (Table II); this
+subsystem deploys searched Pareto mappings behind per-compute-unit FIFO
+queues and plays whole request traces through them -- the second relaxation
+of the ideal-input-mapping assumption (after the runtime exit controller),
+this time dropping the "one request at a time" idealisation:
+
+* :mod:`repro.serving.workload` -- seedable arrival processes (constant,
+  Poisson, bursty on/off, diurnal, multi-tenant),
+* :mod:`repro.serving.policies` -- deployments and runtime policies (static,
+  hysteresis mapping-switcher, DVFS governor),
+* :mod:`repro.serving.simulator` -- the deterministic event loop with the
+  threshold exit controller deciding exits per request,
+* :mod:`repro.serving.metrics` -- tail latency, throughput, deadline misses,
+  utilisation, energy, JSONL trace export,
+* :mod:`repro.serving.bridge` -- re-rank ``MapAndConquer.search`` results by
+  simulated p99-under-traffic instead of isolated averages.
+"""
+
+from .bridge import TrafficRanking, rank_under_traffic, simulate_deployment
+from .metrics import ServingMetrics, compute_metrics, read_trace_jsonl, write_trace_jsonl
+from .policies import (
+    AdaptiveSwitchPolicy,
+    Deployment,
+    DvfsGovernorPolicy,
+    ServingPolicy,
+    StaticPolicy,
+    rescale_deployment,
+)
+from .simulator import RequestRecord, ServingResult, TrafficSimulator
+from .workload import (
+    ArrivalProcess,
+    ConstantRate,
+    DiurnalArrivals,
+    MultiTenantStream,
+    OnOffBursts,
+    PoissonArrivals,
+    Request,
+)
+
+__all__ = [
+    "Request",
+    "ArrivalProcess",
+    "ConstantRate",
+    "PoissonArrivals",
+    "OnOffBursts",
+    "DiurnalArrivals",
+    "MultiTenantStream",
+    "Deployment",
+    "ServingPolicy",
+    "StaticPolicy",
+    "AdaptiveSwitchPolicy",
+    "DvfsGovernorPolicy",
+    "rescale_deployment",
+    "TrafficSimulator",
+    "ServingResult",
+    "RequestRecord",
+    "ServingMetrics",
+    "compute_metrics",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "TrafficRanking",
+    "simulate_deployment",
+    "rank_under_traffic",
+]

@@ -1,0 +1,151 @@
+"""Aggregate serving metrics and the JSONL trace export.
+
+Table II reports average-case latency/energy per isolated sample; a serving
+system is judged on distributions: tail latency (p95/p99), sustained
+throughput, deadline misses, per-unit utilisation and cumulative energy over
+a whole trace.  :func:`compute_metrics` reduces a simulation's per-request
+records to those numbers, and :func:`write_trace_jsonl` exports the raw
+records deterministically (sorted keys, shortest-round-trip floats) so a
+seeded run always produces a byte-identical trace file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .simulator import RequestRecord, ServingResult
+
+__all__ = [
+    "ServingMetrics",
+    "compute_metrics",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """Distributional serving behaviour of one (policy, scenario) run."""
+
+    policy: str
+    num_requests: int
+    duration_ms: float
+    throughput_rps: float
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    max_latency_ms: float
+    mean_queueing_ms: float
+    deadline_miss_rate: float
+    accuracy: float
+    mean_stages: float
+    total_energy_mj: float
+    energy_per_request_mj: float
+    mean_in_flight: float
+    peak_in_flight: int
+    utilisation: Mapping[str, float]
+
+    def summary_row(self) -> dict:
+        """Flat dictionary for :func:`repro.core.report.format_table`."""
+        row = {
+            "policy": self.policy,
+            "requests": self.num_requests,
+            "rps": self.throughput_rps,
+            "p50_ms": self.p50_latency_ms,
+            "p95_ms": self.p95_latency_ms,
+            "p99_ms": self.p99_latency_ms,
+            "miss_%": 100.0 * self.deadline_miss_rate,
+            "acc_%": 100.0 * self.accuracy,
+            "mJ/req": self.energy_per_request_mj,
+        }
+        for name, value in sorted(self.utilisation.items()):
+            row[f"util_{name}_%"] = 100.0 * value
+        return row
+
+
+def _percentile(sorted_values: np.ndarray, q: float) -> float:
+    return float(np.percentile(sorted_values, q))
+
+
+def compute_metrics(
+    result: ServingResult, tenant: Optional[str] = None
+) -> ServingMetrics:
+    """Reduce a :class:`~repro.serving.simulator.ServingResult` to aggregates.
+
+    ``tenant`` restricts the per-request statistics (latency percentiles,
+    accuracy, energy, miss rate) to one tenant of a multi-tenant trace;
+    utilisation and in-flight statistics always describe the whole system,
+    since the hardware is shared.
+    """
+    records: Sequence[RequestRecord] = result.records
+    if tenant is not None:
+        records = [record for record in records if record.tenant == tenant]
+    if not records:
+        raise ConfigurationError(
+            "no records to aggregate"
+            + (f" for tenant {tenant!r}" if tenant is not None else "")
+        )
+    latencies = np.sort(np.array([record.latency_ms for record in records]))
+    queueing = np.array([record.queueing_ms for record in records])
+    energies = np.array([record.energy_mj for record in records])
+    stages = np.array([record.num_stages for record in records])
+    correct = np.array([record.correct for record in records])
+    with_deadline = [record for record in records if record.deadline_ms is not None]
+    missed = sum(1 for record in with_deadline if record.deadline_missed)
+    duration_s = result.duration_ms / 1000.0
+    return ServingMetrics(
+        policy=result.policy,
+        num_requests=len(records),
+        duration_ms=result.duration_ms,
+        throughput_rps=len(records) / duration_s if duration_s > 0 else 0.0,
+        mean_latency_ms=float(latencies.mean()),
+        p50_latency_ms=_percentile(latencies, 50.0),
+        p95_latency_ms=_percentile(latencies, 95.0),
+        p99_latency_ms=_percentile(latencies, 99.0),
+        max_latency_ms=float(latencies[-1]),
+        mean_queueing_ms=float(queueing.mean()),
+        deadline_miss_rate=missed / len(with_deadline) if with_deadline else 0.0,
+        accuracy=float(correct.mean()),
+        mean_stages=float(stages.mean()),
+        total_energy_mj=float(energies.sum()),
+        energy_per_request_mj=float(energies.mean()),
+        mean_in_flight=result.mean_in_flight,
+        peak_in_flight=result.peak_in_flight,
+        utilisation={
+            name: busy / result.duration_ms if result.duration_ms > 0 else 0.0
+            for name, busy in result.busy_ms.items()
+        },
+    )
+
+
+def _trace_lines(records: Iterable[RequestRecord]) -> Iterable[str]:
+    for record in records:
+        yield json.dumps(record.to_json_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def write_trace_jsonl(records: Iterable[RequestRecord], path) -> Path:
+    """Write one JSON object per completed request to ``path``.
+
+    Keys are sorted and floats use Python's shortest round-trip repr, so the
+    same seeded simulation always writes a byte-identical file.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for line in _trace_lines(records):
+            handle.write(line)
+            handle.write("\n")
+    return target
+
+
+def read_trace_jsonl(path) -> Tuple[dict, ...]:
+    """Load a trace written by :func:`write_trace_jsonl` as plain dicts."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return tuple(json.loads(line) for line in handle if line.strip())

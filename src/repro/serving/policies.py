@@ -1,0 +1,312 @@
+"""Runtime serving policies: which mapping (and DVFS point) serves a request.
+
+A :class:`Deployment` is the serving-time distillation of one searched
+mapping: per-stage service times, energies and exit accuracies on named
+compute units.  Policies pick a deployment per request from the live load:
+
+* :class:`StaticPolicy` -- one fixed mapping (the paper's implicit model),
+* :class:`AdaptiveSwitchPolicy` -- swaps between two Pareto points when the
+  number of in-flight requests crosses hysteresis watermarks (an
+  energy-oriented mapping in calm traffic, a latency-oriented one in surges),
+* :class:`DvfsGovernorPolicy` -- keeps the mapping but walks a ladder of
+  DVFS operating points, built on the existing :class:`~repro.soc.dvfs.DvfsTable`
+  and :class:`~repro.soc.dvfs.PowerModel` (race-to-idle under load, slow and
+  frugal when the queue drains).
+
+Policies are deliberately state-machine simple so their decisions are
+reproducible and unit-testable in isolation from the event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..soc.platform import Platform
+from ..utils import check_fraction, check_positive
+
+__all__ = [
+    "Deployment",
+    "ServingPolicy",
+    "StaticPolicy",
+    "AdaptiveSwitchPolicy",
+    "DvfsGovernorPolicy",
+    "rescale_deployment",
+]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """One servable mapping: per-stage cost and exit behaviour.
+
+    The fields mirror what :class:`~repro.perf.evaluator.HardwareProfile` and
+    the exit statistics provide for a searched configuration; requests
+    terminating at stage ``i`` occupy the compute units of stages ``0..i``
+    (the concurrent-execution model of Eq. 13) and pay the cumulative energy
+    of those stages (Eq. 14).
+    """
+
+    name: str
+    unit_names: Tuple[str, ...]
+    service_ms: Tuple[float, ...]
+    energy_mj: Tuple[float, ...]
+    stage_accuracies: Tuple[float, ...]
+    dvfs_scales: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.unit_names),
+            len(self.service_ms),
+            len(self.energy_mj),
+            len(self.stage_accuracies),
+            len(self.dvfs_scales),
+        }
+        if len(lengths) != 1 or not self.unit_names:
+            raise ConfigurationError("per-stage tuples must be non-empty and equal-length")
+        for value in self.service_ms:
+            check_positive(value, "service_ms")
+        for value in self.energy_mj:
+            check_positive(value, "energy_mj")
+        for value in self.stage_accuracies:
+            check_fraction(value, "stage accuracy")
+        if any(
+            b < a - 1e-9 for a, b in zip(self.stage_accuracies, self.stage_accuracies[1:])
+        ):
+            raise ConfigurationError("stage accuracies must be non-decreasing")
+        for value in self.dvfs_scales:
+            check_fraction(value, "dvfs scale", allow_zero=False)
+
+    @property
+    def num_stages(self) -> int:
+        """Number of inference stages."""
+        return len(self.unit_names)
+
+    def cumulative_latency_ms(self, stage: int) -> float:
+        """Zero-contention latency when terminating at ``stage`` (Eq. 13)."""
+        return max(self.service_ms[: stage + 1])
+
+    def cumulative_energy_mj(self, stage: int) -> float:
+        """Energy of instantiating stages up to ``stage`` (Eq. 14)."""
+        return float(sum(self.energy_mj[: stage + 1]))
+
+    @property
+    def bottleneck_service_ms(self) -> float:
+        """Service time of the slowest stage: the capacity bound of the mapping."""
+        return max(self.service_ms)
+
+    def capacity_rps(self) -> float:
+        """Worst-case sustainable throughput (requests/s) if every request
+        instantiated all stages: the bottleneck unit admits one request per
+        ``bottleneck_service_ms``."""
+        return 1000.0 / self.bottleneck_service_ms
+
+    @property
+    def stage_visit_fractions(self) -> Tuple[float, ...]:
+        """Fraction of requests instantiating each stage under ideal exits.
+
+        Every request instantiates stage 0; stage ``i`` is only reached by
+        requests no earlier exit could classify, i.e. a fraction
+        ``1 - stage_accuracies[i - 1]``.
+        """
+        return (1.0,) + tuple(1.0 - acc for acc in self.stage_accuracies[:-1])
+
+    def effective_capacity_rps(self) -> float:
+        """Sustainable throughput accounting for early exits.
+
+        Compute unit ``i`` is busy ``service_ms[i]`` only for the fraction of
+        requests that actually reach stage ``i``, so the serving bottleneck
+        is ``max_i service_ms[i] * visit_fraction[i]`` -- often the *first*
+        stage, which every request pays, rather than the slowest one.
+        """
+        per_request_busy = max(
+            service * visit
+            for service, visit in zip(self.service_ms, self.stage_visit_fractions)
+        )
+        return 1000.0 / per_request_busy
+
+    @classmethod
+    def from_evaluated(cls, evaluated, name: Optional[str] = None) -> "Deployment":
+        """Distil a searched :class:`~repro.search.evaluation.EvaluatedConfig`.
+
+        Accepts anything exposing ``profile`` (a
+        :class:`~repro.perf.evaluator.HardwareProfile`) and ``inference``
+        (whose exit statistics carry the stage accuracies).
+        """
+        profile = evaluated.profile
+        accuracies = evaluated.inference.exit_statistics.stage_accuracies
+        return cls(
+            name=name if name is not None else evaluated.config.describe(),
+            unit_names=tuple(stage.unit_name for stage in profile.stages),
+            service_ms=tuple(stage.latency_ms for stage in profile.stages),
+            energy_mj=tuple(stage.energy_mj for stage in profile.stages),
+            stage_accuracies=tuple(accuracies),
+            dvfs_scales=tuple(stage.dvfs_scale for stage in profile.stages),
+        )
+
+
+def rescale_deployment(
+    deployment: Deployment, platform: Platform, target_scale: float
+) -> Deployment:
+    """Re-derive a deployment at a different DVFS operating point.
+
+    Each stage snaps ``target_scale`` to the nearest point of its unit's
+    :class:`~repro.soc.dvfs.DvfsTable`.  Service time scales as
+    ``theta_ref / theta`` (the compute-bound model of Eq. 10's surroundings)
+    and energy follows the unit's linear :class:`~repro.soc.dvfs.PowerModel`:
+    ``E' = E * (theta_ref / theta) * P(theta) / P(theta_ref)``, so the
+    profiled numbers are recovered exactly at the reference point.
+    """
+    check_fraction(target_scale, "target_scale", allow_zero=False)
+    services = []
+    energies = []
+    scales = []
+    for unit_name, service, energy, reference_scale in zip(
+        deployment.unit_names,
+        deployment.service_ms,
+        deployment.energy_mj,
+        deployment.dvfs_scales,
+    ):
+        unit = platform.unit(unit_name)
+        scale = unit.dvfs.scale(unit.dvfs.nearest_index(target_scale))
+        slowdown = reference_scale / scale
+        power_ratio = unit.power.power_w(scale) / unit.power.power_w(reference_scale)
+        services.append(service * slowdown)
+        energies.append(energy * slowdown * power_ratio)
+        scales.append(scale)
+    return replace(
+        deployment,
+        name=f"{deployment.name}@theta={target_scale:.2f}",
+        service_ms=tuple(services),
+        energy_mj=tuple(energies),
+        dvfs_scales=tuple(scales),
+    )
+
+
+class ServingPolicy:
+    """Base class: maps live queue state to the deployment serving a request."""
+
+    name: str = "policy"
+
+    def reset(self) -> None:
+        """Clear any hysteresis state before a fresh simulation run."""
+
+    def select(self, queue_depth: int, now_ms: float) -> Deployment:
+        """Pick the deployment for a request arriving at ``now_ms`` while
+        ``queue_depth`` requests are already in flight."""
+        raise NotImplementedError
+
+
+class StaticPolicy(ServingPolicy):
+    """Always serve with one fixed deployment (the paper's implicit model)."""
+
+    def __init__(self, deployment: Deployment, name: Optional[str] = None) -> None:
+        self.deployment = deployment
+        self.name = name if name is not None else f"static({deployment.name})"
+
+    def select(self, queue_depth: int, now_ms: float) -> Deployment:
+        return self.deployment
+
+
+class AdaptiveSwitchPolicy(ServingPolicy):
+    """Hysteresis switch between a calm and a surge deployment.
+
+    While calm, a request arriving with ``queue_depth >= high_watermark``
+    flips the policy into surge mode (typically a latency-oriented Pareto
+    point); it flips back to the calm (energy-oriented) deployment only once
+    the depth has drained to ``low_watermark``.  The dead band between the
+    watermarks prevents flapping on every queue oscillation.
+    """
+
+    def __init__(
+        self,
+        calm: Deployment,
+        surge: Deployment,
+        high_watermark: int = 8,
+        low_watermark: int = 2,
+        name: Optional[str] = None,
+    ) -> None:
+        if low_watermark < 0 or high_watermark <= low_watermark:
+            raise ConfigurationError(
+                f"need high_watermark > low_watermark >= 0, got "
+                f"{high_watermark} / {low_watermark}"
+            )
+        self.calm = calm
+        self.surge = surge
+        self.high_watermark = int(high_watermark)
+        self.low_watermark = int(low_watermark)
+        self.name = name if name is not None else "adaptive-switch"
+        self.switches = 0
+        self._surging = False
+
+    def reset(self) -> None:
+        self._surging = False
+        self.switches = 0
+
+    @property
+    def surging(self) -> bool:
+        """Whether the policy is currently in surge mode."""
+        return self._surging
+
+    def select(self, queue_depth: int, now_ms: float) -> Deployment:
+        if not self._surging and queue_depth >= self.high_watermark:
+            self._surging = True
+            self.switches += 1
+        elif self._surging and queue_depth <= self.low_watermark:
+            self._surging = False
+            self.switches += 1
+        return self.surge if self._surging else self.calm
+
+
+class DvfsGovernorPolicy(ServingPolicy):
+    """Load-driven DVFS ladder over one mapping.
+
+    The governor pre-computes the deployment at each rung of ``levels``
+    (fractions of maximum frequency, snapped to each unit's
+    :class:`~repro.soc.dvfs.DvfsTable`) via :func:`rescale_deployment`.  A
+    request seeing ``queue_depth >= high_watermark`` steps the ladder one
+    rung up; one seeing ``queue_depth <= low_watermark`` steps it back down
+    -- the conservative one-rung-at-a-time walk mirrors interactive CPU
+    governors and keeps decisions reproducible.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        platform: Platform,
+        levels: Tuple[float, ...] = (0.4, 0.6, 0.8, 1.0),
+        high_watermark: int = 4,
+        low_watermark: int = 1,
+        name: Optional[str] = None,
+    ) -> None:
+        if low_watermark < 0 or high_watermark <= low_watermark:
+            raise ConfigurationError(
+                f"need high_watermark > low_watermark >= 0, got "
+                f"{high_watermark} / {low_watermark}"
+            )
+        if not levels:
+            raise ConfigurationError("the governor needs at least one DVFS level")
+        ordered = tuple(sorted(check_fraction(f, "level", allow_zero=False) for f in levels))
+        self.rungs = tuple(
+            rescale_deployment(deployment, platform, fraction) for fraction in ordered
+        )
+        self.levels = ordered
+        self.high_watermark = int(high_watermark)
+        self.low_watermark = int(low_watermark)
+        self.name = name if name is not None else f"dvfs-governor({deployment.name})"
+        self._rung = 0
+
+    def reset(self) -> None:
+        self._rung = 0
+
+    @property
+    def rung(self) -> int:
+        """Current ladder position (0 = slowest/frugal rung)."""
+        return self._rung
+
+    def select(self, queue_depth: int, now_ms: float) -> Deployment:
+        if queue_depth >= self.high_watermark and self._rung < len(self.rungs) - 1:
+            self._rung += 1
+        elif queue_depth <= self.low_watermark and self._rung > 0:
+            self._rung -= 1
+        return self.rungs[self._rung]

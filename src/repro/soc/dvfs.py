@@ -78,6 +78,27 @@ class DvfsTable:
         """Scaling factors of every operating point, in table order."""
         return tuple(point.frequency_mhz / self.max_frequency_mhz for point in self.points)
 
+    def nearest_index(self, target_scale: float) -> int:
+        """Index of the operating point whose scaling factor is closest to target.
+
+        Runtime governors (:mod:`repro.serving.policies`) request a continuous
+        utilisation-driven scale; hardware only offers the discrete table, so
+        the governor snaps to the nearest supported point.  Ties resolve to
+        the higher-frequency point, erring on the side of meeting demand.
+        """
+        if not 0 < target_scale <= 1:
+            raise ConfigurationError(
+                f"target_scale must lie in (0, 1], got {target_scale}"
+            )
+        scales = np.asarray(self.scales())
+        distances = np.abs(scales - float(target_scale))
+        best = int(np.argmin(distances))
+        # argmin returns the first (slower) point on exact ties; prefer the
+        # faster neighbour when it is exactly as close.
+        if best + 1 < len(scales) and distances[best + 1] == distances[best]:
+            best += 1
+        return best
+
     @classmethod
     def from_frequencies(cls, frequencies_mhz: Sequence[float]) -> "DvfsTable":
         """Build a table from a plain list of frequencies (sorted ascending)."""

@@ -1,0 +1,222 @@
+"""Unit tests for deployments, serving policies and the per-request controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.controller import ThresholdExitController
+from repro.errors import ConfigurationError
+from repro.serving.policies import (
+    AdaptiveSwitchPolicy,
+    Deployment,
+    DvfsGovernorPolicy,
+    StaticPolicy,
+    rescale_deployment,
+)
+
+
+@pytest.fixture()
+def frugal():
+    return Deployment(
+        name="frugal",
+        unit_names=("dla0", "dla1"),
+        service_ms=(30.0, 45.0),
+        energy_mj=(8.0, 10.0),
+        stage_accuracies=(0.6, 0.85),
+        dvfs_scales=(1.0, 1.0),
+    )
+
+
+@pytest.fixture()
+def fast():
+    return Deployment(
+        name="fast",
+        unit_names=("gpu",),
+        service_ms=(6.0,),
+        energy_mj=(80.0,),
+        stage_accuracies=(0.85,),
+        dvfs_scales=(1.0,),
+    )
+
+
+class TestDeployment:
+    def test_cumulative_views(self, frugal):
+        assert frugal.cumulative_latency_ms(0) == 30.0
+        assert frugal.cumulative_latency_ms(1) == 45.0
+        assert frugal.cumulative_energy_mj(1) == pytest.approx(18.0)
+        assert frugal.bottleneck_service_ms == 45.0
+        assert frugal.capacity_rps() == pytest.approx(1000.0 / 45.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Deployment(
+                name="bad",
+                unit_names=("gpu",),
+                service_ms=(1.0, 2.0),
+                energy_mj=(1.0,),
+                stage_accuracies=(0.5,),
+                dvfs_scales=(1.0,),
+            )
+        with pytest.raises(ConfigurationError):
+            Deployment(
+                name="bad",
+                unit_names=("gpu", "dla0"),
+                service_ms=(1.0, 2.0),
+                energy_mj=(1.0, 1.0),
+                stage_accuracies=(0.9, 0.5),  # decreasing
+                dvfs_scales=(1.0, 1.0),
+            )
+
+    def test_from_evaluated(self, tiny_config_evaluator, tiny_mapping_config):
+        evaluated = tiny_config_evaluator.evaluate(tiny_mapping_config)
+        deployment = Deployment.from_evaluated(evaluated, name="searched")
+        assert deployment.name == "searched"
+        assert deployment.unit_names == ("gpu", "dla0", "dla1")
+        assert deployment.num_stages == evaluated.profile.num_stages
+        for stage in range(deployment.num_stages):
+            assert deployment.cumulative_latency_ms(stage) == pytest.approx(
+                evaluated.profile.cumulative_latency_ms(stage)
+            )
+            assert deployment.cumulative_energy_mj(stage) == pytest.approx(
+                evaluated.profile.cumulative_energy_mj(stage)
+            )
+
+
+class TestRescaleDeployment:
+    def test_identity_at_reference_point(self, frugal, platform):
+        rescaled = rescale_deployment(frugal, platform, 1.0)
+        assert rescaled.service_ms == frugal.service_ms
+        assert rescaled.energy_mj == frugal.energy_mj
+        assert rescaled.dvfs_scales == (1.0, 1.0)
+
+    def test_downscaling_follows_power_model(self, fast, platform):
+        unit = platform.unit("gpu")
+        rescaled = rescale_deployment(fast, platform, 0.5)
+        index = unit.dvfs.nearest_index(0.5)
+        scale = unit.dvfs.scale(index)
+        assert rescaled.dvfs_scales == (scale,)
+        assert rescaled.service_ms[0] == pytest.approx(6.0 / scale)
+        expected_energy = 80.0 * (1.0 / scale) * (
+            unit.power.power_w(scale) / unit.power.power_w(1.0)
+        )
+        assert rescaled.energy_mj[0] == pytest.approx(expected_energy)
+        assert rescaled.service_ms[0] > fast.service_ms[0]
+
+    def test_nearest_index_snaps_and_validates(self, platform):
+        table = platform.unit("gpu").dvfs
+        scales = table.scales()
+        for target in (0.3, 0.5, 0.77, 1.0):
+            snapped = table.scale(table.nearest_index(target))
+            assert min(abs(s - target) for s in scales) == pytest.approx(
+                abs(snapped - target)
+            )
+        assert table.nearest_index(1.0) == len(table) - 1
+        with pytest.raises(ConfigurationError):
+            table.nearest_index(0.0)
+        with pytest.raises(ConfigurationError):
+            table.nearest_index(1.5)
+
+
+class TestStaticPolicy:
+    def test_always_same_deployment(self, frugal):
+        policy = StaticPolicy(frugal)
+        assert policy.select(0, 0.0) is frugal
+        assert policy.select(100, 5.0) is frugal
+
+
+class TestAdaptiveSwitchPolicy:
+    def test_hysteresis_band(self, frugal, fast):
+        policy = AdaptiveSwitchPolicy(frugal, fast, high_watermark=8, low_watermark=2)
+        assert policy.select(0, 0.0) is frugal
+        assert policy.select(7, 1.0) is frugal  # below high watermark
+        assert policy.select(8, 2.0) is fast  # crosses the high watermark
+        assert policy.select(5, 3.0) is fast  # inside the dead band: stays
+        assert policy.select(3, 4.0) is fast
+        assert policy.select(2, 5.0) is frugal  # drains to the low watermark
+        assert policy.switches == 2
+
+    def test_reset_clears_state(self, frugal, fast):
+        policy = AdaptiveSwitchPolicy(frugal, fast, high_watermark=4, low_watermark=1)
+        policy.select(10, 0.0)
+        assert policy.surging
+        policy.reset()
+        assert not policy.surging
+        assert policy.switches == 0
+        assert policy.select(2, 0.0) is frugal
+
+    def test_watermark_validation(self, frugal, fast):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSwitchPolicy(frugal, fast, high_watermark=2, low_watermark=2)
+        with pytest.raises(ConfigurationError):
+            AdaptiveSwitchPolicy(frugal, fast, high_watermark=1, low_watermark=-1)
+
+
+class TestDvfsGovernorPolicy:
+    def test_walks_one_rung_at_a_time(self, fast, platform):
+        policy = DvfsGovernorPolicy(
+            fast, platform, levels=(0.4, 0.7, 1.0), high_watermark=4, low_watermark=1
+        )
+        assert policy.rung == 0
+        slow = policy.select(0, 0.0)
+        assert policy.rung == 0
+        policy.select(5, 1.0)
+        assert policy.rung == 1
+        policy.select(9, 2.0)
+        assert policy.rung == 2
+        fast_rung = policy.select(9, 3.0)  # already at the top
+        assert policy.rung == 2
+        assert fast_rung.service_ms[0] < slow.service_ms[0]
+        policy.select(0, 4.0)
+        assert policy.rung == 1
+
+    def test_rungs_ordered_by_speed(self, fast, platform):
+        policy = DvfsGovernorPolicy(fast, platform, levels=(0.4, 0.6, 0.8, 1.0))
+        services = [rung.service_ms[0] for rung in policy.rungs]
+        assert services == sorted(services, reverse=True)
+
+    def test_validation(self, fast, platform):
+        with pytest.raises(ConfigurationError):
+            DvfsGovernorPolicy(fast, platform, levels=())
+        with pytest.raises(ConfigurationError):
+            DvfsGovernorPolicy(fast, platform, high_watermark=1, low_watermark=1)
+
+
+class TestControllerDecide:
+    def test_ideal_controller_reproduces_ideal_mapping(self):
+        controller = ThresholdExitController(threshold=0.5, confidence_noise=0.0, seed=0)
+        accuracies = (0.5, 0.7, 0.9)
+        # Difficulty below the first stage's accuracy: exits immediately.
+        assert controller.decide(0.3, accuracies).stage == 0
+        # Between stage 1 and 2: exits at stage 1, correctly.
+        decision = controller.decide(0.6, accuracies)
+        assert decision.stage == 1 and decision.correct and not decision.premature
+        # Harder than every stage: traverses the cascade and is wrong.
+        decision = controller.decide(0.95, accuracies)
+        assert decision.stage == 2 and not decision.correct
+
+    def test_decide_matches_simulate_statistics(self, tiny_dynamic, mapping_evaluator):
+        from repro.dynamics.accuracy import AccuracyModel
+
+        accuracies = AccuracyModel().stage_accuracies(tiny_dynamic)
+        profile = mapping_evaluator.profile(tiny_dynamic, ("gpu", "dla0", "dla1"), (9, 5, 5))
+        controller = ThresholdExitController(threshold=0.7, confidence_noise=0.1, seed=0)
+        aggregate = controller.simulate(accuracies, profile, num_samples=4000)
+
+        rng = np.random.default_rng(0)
+        solo = ThresholdExitController(threshold=0.7, confidence_noise=0.1, seed=1)
+        difficulties = rng.random(4000)
+        decisions = [solo.decide(d, accuracies, rng=rng) for d in difficulties]
+        accuracy = float(np.mean([decision.correct for decision in decisions]))
+        stages = float(np.mean([decision.stage + 1 for decision in decisions]))
+        assert accuracy == pytest.approx(aggregate.accuracy, abs=0.03)
+        assert stages == pytest.approx(aggregate.expected_stages, abs=0.1)
+
+    def test_decide_validation(self):
+        controller = ThresholdExitController(seed=0)
+        with pytest.raises(ConfigurationError):
+            controller.decide(1.5, (0.5, 0.9))
+        with pytest.raises(ConfigurationError):
+            controller.decide(0.5, ())
+        with pytest.raises(ConfigurationError):
+            controller.decide(0.5, (0.9, 0.5))

@@ -1,0 +1,132 @@
+"""Unit tests for the serving workload (arrival process) library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.workload import (
+    ConstantRate,
+    DiurnalArrivals,
+    MultiTenantStream,
+    OnOffBursts,
+    PoissonArrivals,
+    Request,
+)
+
+DURATION_MS = 20_000.0
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Request(arrival_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            Request(arrival_ms=0.0, tenant="")
+        with pytest.raises(ConfigurationError):
+            Request(arrival_ms=0.0, deadline_ms=0.0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "process",
+        [
+            ConstantRate(25.0),
+            PoissonArrivals(25.0),
+            OnOffBursts(burst_rps=50.0, idle_rps=5.0, burst_ms=1000.0, idle_ms=2000.0),
+            DiurnalArrivals(peak_rps=40.0, trough_rps=4.0, period_ms=10_000.0),
+            MultiTenantStream(
+                [PoissonArrivals(10.0, tenant="a"), ConstantRate(5.0, tenant="b")]
+            ),
+        ],
+        ids=["constant", "poisson", "bursty", "diurnal", "multi-tenant"],
+    )
+    def test_identical_seed_identical_trace(self, process):
+        first = process.generate(DURATION_MS, seed=7)
+        second = process.generate(DURATION_MS, seed=7)
+        assert first == second
+
+    def test_different_seed_different_trace(self):
+        process = PoissonArrivals(25.0)
+        first = process.generate(DURATION_MS, seed=1)
+        second = process.generate(DURATION_MS, seed=2)
+        assert first != second
+
+    def test_constant_rate_is_seed_independent(self):
+        process = ConstantRate(25.0)
+        assert process.generate(DURATION_MS, seed=1) == process.generate(DURATION_MS, seed=99)
+
+
+class TestStatistics:
+    def test_arrivals_sorted_and_in_window(self):
+        process = OnOffBursts(burst_rps=80.0, idle_rps=2.0, burst_ms=500.0, idle_ms=1500.0)
+        requests = process.generate(DURATION_MS, seed=0)
+        times = [request.arrival_ms for request in requests]
+        assert times == sorted(times)
+        assert all(0.0 <= t < DURATION_MS for t in times)
+
+    def test_constant_rate_count_and_spacing(self):
+        requests = ConstantRate(10.0).generate(1000.0, seed=0)
+        assert len(requests) == 10
+        gaps = np.diff([request.arrival_ms for request in requests])
+        assert np.allclose(gaps, 100.0)
+
+    def test_poisson_rate_approximately_met(self):
+        requests = PoissonArrivals(50.0).generate(60_000.0, seed=3)
+        observed_rps = len(requests) / 60.0
+        assert observed_rps == pytest.approx(50.0, rel=0.1)
+
+    def test_bursty_phases_have_different_densities(self):
+        process = OnOffBursts(burst_rps=100.0, idle_rps=5.0, burst_ms=1000.0, idle_ms=1000.0)
+        requests = process.generate(10_000.0, seed=0)
+        in_burst = sum(1 for r in requests if (r.arrival_ms % 2000.0) < 1000.0)
+        in_idle = len(requests) - in_burst
+        assert in_burst > 5 * in_idle
+
+    def test_diurnal_rate_envelope(self):
+        process = DiurnalArrivals(peak_rps=60.0, trough_rps=6.0, period_ms=20_000.0)
+        assert process.rate_rps_at(0.0) == pytest.approx(6.0)
+        assert process.rate_rps_at(10_000.0) == pytest.approx(60.0)
+        requests = process.generate(20_000.0, seed=1)
+        # More arrivals around the peak (2nd quarter) than around the trough.
+        near_peak = sum(1 for r in requests if 7500.0 <= r.arrival_ms < 12_500.0)
+        near_trough = sum(1 for r in requests if r.arrival_ms < 2500.0 or r.arrival_ms >= 17_500.0)
+        assert near_peak > 2 * near_trough
+
+    def test_multi_tenant_merge_keeps_labels_and_order(self):
+        stream = MultiTenantStream(
+            [
+                PoissonArrivals(20.0, tenant="mobile", deadline_ms=80.0),
+                PoissonArrivals(10.0, tenant="batch"),
+            ]
+        )
+        requests = stream.generate(10_000.0, seed=5)
+        tenants = {request.tenant for request in requests}
+        assert tenants == {"mobile", "batch"}
+        times = [request.arrival_ms for request in requests]
+        assert times == sorted(times)
+        assert all(
+            request.deadline_ms == 80.0
+            for request in requests
+            if request.tenant == "mobile"
+        )
+        assert all(
+            request.deadline_ms is None for request in requests if request.tenant == "batch"
+        )
+
+
+class TestValidation:
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantRate(0.0)
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(-1.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(peak_rps=5.0, trough_rps=10.0, period_ms=1000.0)
+        with pytest.raises(ConfigurationError):
+            MultiTenantStream([])
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(10.0).generate(0.0, seed=0)
