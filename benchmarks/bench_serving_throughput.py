@@ -28,6 +28,8 @@ Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_serving_throughput.p
 from __future__ import annotations
 
 import os
+import timeit
+from dataclasses import replace
 
 from repro.core.framework import MapAndConquer
 from repro.core.report import format_table
@@ -40,6 +42,7 @@ from repro.serving import (
     TrafficSimulator,
 )
 from repro.soc.platform import jetson_agx_xavier
+from repro.soc.presets import derive
 
 SMOKE = os.environ.get("REPRO_SERVING_SMOKE", "") == "1"
 
@@ -137,3 +140,29 @@ def test_serving_throughput(save_table):
     assert all(
         m.num_requests == top_load_requests for m in top_load_metrics.values()
     )
+
+
+def test_unit_lookup_does_not_dominate():
+    """Micro-assert: ``Platform.unit()`` is O(1), not a per-call linear scan.
+
+    The serving event loop resolves unit names per request and scheduling
+    does so per stage; before the name -> (index, unit) map those were O(M)
+    scans.  On a 40-unit platform a scan makes the last-declared unit ~40x
+    slower to resolve than the first; the dict makes lookup cost
+    position-independent, so the ratio stays near 1.
+    """
+    base = jetson_agx_xavier()
+    extras = tuple(
+        replace(base.compute_units[1], name=f"dla{index}") for index in range(2, 40)
+    )
+    wide = derive(base, "xavier-wide", extra_units=extras)
+    first, last = wide.unit_names[0], wide.unit_names[-1]
+    calls = 20_000
+    time_first = min(timeit.repeat(lambda: wide.unit(first), number=calls, repeat=5))
+    time_last = min(timeit.repeat(lambda: wide.unit(last), number=calls, repeat=5))
+    assert time_last < 5.0 * time_first, (
+        f"unit lookup is position-dependent again ({time_last / time_first:.1f}x): "
+        "did Platform lose its name lookup map?"
+    )
+    # And absolutely cheap: far below the ~ms-scale per-request simulation work.
+    assert time_last / calls < 5e-6

@@ -17,6 +17,12 @@ package provides:
   that deploys searched mappings behind per-compute-unit FIFO queues under
   constant/Poisson/bursty/diurnal arrival scenarios, with load-adaptive
   mapping switching and DVFS governing (:mod:`repro.serving`),
+* the platform zoo: calibrated presets spanning Orin-class, Nano-class,
+  mobile big.LITTLE+NPU and server-GPU regimes behind a named registry,
+  plus a scaling helper for what-if variants (:mod:`repro.soc.presets`),
+* cross-platform campaigns: one search fanned over a platform x scenario
+  grid, per-platform Pareto fronts and a portability matrix quantifying how
+  platform-specific the searched mappings are (:mod:`repro.campaign`),
 * the high-level :class:`~repro.core.framework.MapAndConquer` facade and
   report helpers (:mod:`repro.core`).
 
@@ -29,8 +35,9 @@ Quickstart::
     print(result.best.summary_row())
 """
 
+from .campaign import CampaignResult, CampaignScenario, run_campaign
 from .core.framework import MapAndConquer
-from .core.report import format_table
+from .core.report import campaign_summary, campaign_table, format_table
 from .engine import (
     EvaluationCache,
     EvolutionaryStrategy,
@@ -54,8 +61,9 @@ from .serving import (
     rank_under_traffic,
 )
 from .soc.platform import Platform, jetson_agx_xavier
+from .soc.presets import derive, get_platform, platform_names, platform_registry
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "MapAndConquer",
@@ -65,6 +73,15 @@ __all__ = [
     "SearchSpace",
     "Platform",
     "jetson_agx_xavier",
+    "platform_registry",
+    "platform_names",
+    "get_platform",
+    "derive",
+    "CampaignScenario",
+    "CampaignResult",
+    "run_campaign",
+    "campaign_table",
+    "campaign_summary",
     "visformer",
     "vgg19",
     "resnet20",

@@ -1,0 +1,38 @@
+"""Cross-platform search campaigns over the platform zoo.
+
+The paper's method is pitched as general over heterogeneous MPSoCs; this
+subsystem actually exercises that generality.  It fans the mapping search
+out across a grid of calibrated platforms (:mod:`repro.soc.presets`) and
+search scenarios, then quantifies how platform-specific the searched
+mappings are:
+
+* :mod:`repro.campaign.runner` -- :func:`run_campaign`, the grid driver
+  producing per-platform Pareto fronts, the portability matrix and optional
+  under-traffic re-rankings,
+* :mod:`repro.campaign.portability` -- translating a mapping searched on
+  one platform into another platform's unit/DVFS vocabulary and scoring the
+  transfer.
+
+Surfaced on the facade as :meth:`repro.core.framework.MapAndConquer.campaign`
+and rendered by :func:`repro.core.report.campaign_table` /
+:func:`repro.core.report.campaign_summary`.
+"""
+
+from .portability import count_surviving_on_front, translate_config
+from .runner import (
+    CampaignCell,
+    CampaignResult,
+    CampaignScenario,
+    PortabilityEntry,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignScenario",
+    "CampaignCell",
+    "PortabilityEntry",
+    "CampaignResult",
+    "run_campaign",
+    "translate_config",
+    "count_surviving_on_front",
+]

@@ -1,0 +1,414 @@
+"""Cross-platform search campaigns over the platform zoo.
+
+:func:`run_campaign` fans :meth:`MapAndConquer.search` out over a platform x
+scenario grid, reusing the engine's evaluation backends (serial or process
+pool) inside every cell and one shared, optionally persistent
+:class:`~repro.engine.cache.EvaluationCache` across the whole grid (content
+digests include the platform name, so platforms never alias entries).  For
+every cell it keeps the full :class:`~repro.search.evolutionary.SearchResult`
+— including the per-platform Pareto front — and afterwards computes a
+**portability ranking**: every front searched on platform A is translated
+into platform B's vocabulary (:mod:`repro.campaign.portability`) and
+re-evaluated by B's own pipeline, yielding the regret of deploying A's
+mappings on B instead of searching B natively.
+
+Optionally, every front is also re-ranked under one shared traffic scenario
+via :func:`repro.serving.bridge.rank_under_traffic`, so the campaign reports
+both isolated-sample and under-load winners per platform.
+
+Everything is seed-deterministic: the same seed produces byte-identical
+:func:`repro.core.report.campaign_summary` output, with serial and process
+backends agreeing bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ..dynamics.accuracy import AccuracyModel
+from ..dynamics.samples import DEFAULT_VALIDATION_SAMPLES
+from ..engine.cache import EvaluationCache
+from ..errors import ConfigurationError
+from ..nn.graph import NetworkGraph
+from ..search.constraints import SearchConstraints
+from ..search.evaluation import EvaluatedConfig
+from ..search.evolutionary import SearchResult
+from ..search.objectives import paper_objective
+from ..serving.workload import ArrivalProcess
+from ..soc.platform import Platform
+from ..soc.presets import get_platform
+from .portability import count_surviving_on_front, translate_config
+
+__all__ = [
+    "CampaignScenario",
+    "CampaignCell",
+    "PortabilityEntry",
+    "CampaignResult",
+    "run_campaign",
+]
+
+#: Backend choices run_campaign accepts.  Instances are rejected: a backend
+#: is bound to one evaluator spec, and the campaign needs one per platform.
+_BACKEND_NAMES = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class CampaignScenario:
+    """One search scenario of the campaign grid (a column of the matrix).
+
+    Parameters
+    ----------
+    name:
+        Label used in tables and lookups; must be unique within a campaign.
+    max_reuse_fraction:
+        Optional feature-reuse cap baked into the search space *and*
+        enforced as a hard constraint (the Fig. 6 75 % / 50 % scenarios).
+    constraints:
+        Optional explicit constraint set; overrides the cap-derived default.
+    generations / population_size:
+        Optional per-scenario overrides of the campaign-wide budget.
+    """
+
+    name: str = "unconstrained"
+    max_reuse_fraction: Optional[float] = None
+    constraints: Optional[SearchConstraints] = None
+    generations: Optional[int] = None
+    population_size: Optional[int] = None
+
+    def resolve_constraints(self) -> Optional[SearchConstraints]:
+        """The constraint set this scenario applies during search."""
+        if self.constraints is not None:
+            return self.constraints
+        if self.max_reuse_fraction is not None:
+            return SearchConstraints(max_reuse_fraction=self.max_reuse_fraction)
+        return None
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """Outcome of one (platform, scenario) search."""
+
+    platform_name: str
+    scenario_name: str
+    result: SearchResult
+    best_objective: float
+    traffic_ranking: Optional[tuple] = None
+
+    @property
+    def front(self) -> Tuple[EvaluatedConfig, ...]:
+        """The cell's Pareto front."""
+        return self.result.pareto
+
+
+@dataclass(frozen=True)
+class PortabilityEntry:
+    """How the front searched on ``source`` fares re-evaluated on ``target``.
+
+    ``regret`` is the ratio of the best transferred objective to the target's
+    natively searched best (>= 1 means the native search found something at
+    least as good; large values mean A's mappings do not travel).
+    ``surviving_on_front`` counts transferred configs no native Pareto-front
+    member dominates — when it is below ``transferred``, the source front is
+    demonstrably not Pareto-optimal on the target.
+    """
+
+    source: str
+    target: str
+    scenario: str
+    transferred: int
+    surviving_on_front: int
+    best_cross_objective: float
+    native_best_objective: float
+
+    @property
+    def regret(self) -> float:
+        """Best transferred objective over the native best (lower is better)."""
+        if self.native_best_objective == 0.0:
+            return float("inf")
+        return self.best_cross_objective / self.native_best_objective
+
+    @property
+    def fully_pareto_optimal(self) -> bool:
+        """Whether every transferred config survives on the target's front."""
+        return self.surviving_on_front == self.transferred
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything one campaign produced: the grid plus the portability matrix."""
+
+    network_name: str
+    platform_names: Tuple[str, ...]
+    scenario_names: Tuple[str, ...]
+    cells: Tuple[CampaignCell, ...]
+    portability: Tuple[PortabilityEntry, ...]
+    seed: int
+    _index: Dict[Tuple[str, str], CampaignCell] = field(repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_index",
+            {(cell.platform_name, cell.scenario_name): cell for cell in self.cells},
+        )
+
+    def cell(self, platform: str, scenario: Optional[str] = None) -> CampaignCell:
+        """The outcome searched on ``platform`` under ``scenario``."""
+        scenario = self.scenario_names[0] if scenario is None else scenario
+        found = self._index.get((platform, scenario))
+        if found is None:
+            raise ConfigurationError(
+                f"no campaign cell for platform {platform!r} / scenario {scenario!r}; "
+                f"have platforms {list(self.platform_names)} and "
+                f"scenarios {list(self.scenario_names)}"
+            )
+        return found
+
+    def front(self, platform: str, scenario: Optional[str] = None):
+        """Pareto front searched on ``platform`` under ``scenario``."""
+        return self.cell(platform, scenario).front
+
+    def entry(
+        self, source: str, target: str, scenario: Optional[str] = None
+    ) -> PortabilityEntry:
+        """The portability entry for one (source, target) pair."""
+        scenario = self.scenario_names[0] if scenario is None else scenario
+        for candidate in self.portability:
+            if (
+                candidate.source == source
+                and candidate.target == target
+                and candidate.scenario == scenario
+            ):
+                return candidate
+        raise ConfigurationError(
+            f"no portability entry {source!r} -> {target!r} under scenario {scenario!r}"
+        )
+
+    def portability_matrix(
+        self, scenario: Optional[str] = None
+    ) -> Dict[Tuple[str, str], float]:
+        """``(source, target) -> regret`` for one scenario of the campaign."""
+        scenario = self.scenario_names[0] if scenario is None else scenario
+        return {
+            (entry.source, entry.target): entry.regret
+            for entry in self.portability
+            if entry.scenario == scenario
+        }
+
+
+def _resolve_platforms(platforms: Sequence[Union[str, Platform]]) -> Tuple[Platform, ...]:
+    if not platforms:
+        raise ConfigurationError("run_campaign needs at least one platform")
+    resolved = tuple(
+        item if isinstance(item, Platform) else get_platform(item) for item in platforms
+    )
+    names = [platform.name for platform in resolved]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"campaign platforms must have distinct names, got {names}")
+    return resolved
+
+
+def _resolve_scenarios(
+    scenarios: Optional[Sequence[CampaignScenario]],
+) -> Tuple[CampaignScenario, ...]:
+    if scenarios is None:
+        return (CampaignScenario(),)
+    resolved = tuple(scenarios)
+    if not resolved:
+        raise ConfigurationError("pass None for the default scenario, not an empty list")
+    names = [scenario.name for scenario in resolved]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"campaign scenarios must have distinct names, got {names}")
+    return resolved
+
+
+def run_campaign(
+    network: NetworkGraph,
+    platforms: Sequence[Union[str, Platform]],
+    scenarios: Optional[Sequence[CampaignScenario]] = None,
+    strategy: str = "evolutionary",
+    backend: Optional[str] = None,
+    n_workers: Optional[int] = None,
+    cache: Union[EvaluationCache, str, Path, None] = None,
+    generations: int = 10,
+    population_size: int = 16,
+    num_stages: Optional[int] = None,
+    traffic: Optional[ArrivalProcess] = None,
+    traffic_duration_ms: Optional[float] = None,
+    traffic_metric: str = "p99_latency_ms",
+    objective=paper_objective,
+    accuracy_model: Optional[AccuracyModel] = None,
+    reorder_channels: bool = True,
+    validation_samples: int = DEFAULT_VALIDATION_SAMPLES,
+    seed: int = 0,
+) -> CampaignResult:
+    """Search ``network`` across a platform x scenario grid and compare.
+
+    Parameters
+    ----------
+    network:
+        The network to map, shared by every cell (so is its channel ranking:
+        it is derived from ``network`` and ``seed`` only, never the board).
+    platforms:
+        Registry preset names (see :func:`repro.soc.presets.platform_names`)
+        and/or ready :class:`~repro.soc.platform.Platform` instances.
+    scenarios:
+        Search scenarios (reuse caps, constraints, per-scenario budgets);
+        ``None`` runs one unconstrained scenario.
+    strategy, backend, n_workers, cache:
+        Forwarded to every cell's :meth:`MapAndConquer.search`.  ``backend``
+        must be a name (``"serial"`` / ``"process"``), not an instance — a
+        backend instance is bound to one platform's evaluator, and the
+        campaign needs a fresh one per cell.  The cache (object or JSONL
+        path) is shared by the whole grid.
+    num_stages:
+        Stage count used on *every* platform; defaults to the smallest unit
+        count in the grid, so every searched mapping is translatable to
+        every other platform for the portability matrix.
+    traffic, traffic_duration_ms, traffic_metric:
+        Optional shared traffic scenario: every cell's front is additionally
+        re-ranked under it via :func:`repro.serving.bridge.rank_under_traffic`.
+    objective:
+        Scalar objective used for the portability regret (default: Eq. 16).
+    accuracy_model, reorder_channels, validation_samples:
+        Platform-independent evaluator settings applied in every cell (the
+        cost model is always the analytical oracle: surrogates are
+        calibrated per platform and do not transfer).
+    seed:
+        Master seed for every cell's search (and the traffic replays).
+    """
+    from ..core.framework import MapAndConquer  # local import: core imports campaign
+
+    platform_objs = _resolve_platforms(platforms)
+    scenario_objs = _resolve_scenarios(scenarios)
+    if backend is not None and not isinstance(backend, str):
+        raise ConfigurationError(
+            "run_campaign needs a backend *name* ('serial' or 'process'); backend "
+            "instances are bound to a single platform's evaluator and cannot be shared"
+        )
+    if backend is not None and backend not in _BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected one of {_BACKEND_NAMES}"
+        )
+    # Fail on an unusable traffic request now, not after the first cell's
+    # whole search has already been spent.
+    if isinstance(traffic, ArrivalProcess) and traffic_duration_ms is None:
+        raise ConfigurationError(
+            "traffic_duration_ms is required when traffic is an ArrivalProcess"
+        )
+    min_units = min(platform.num_units for platform in platform_objs)
+    stages = min_units if num_stages is None else int(num_stages)
+    if not 1 <= stages <= min_units:
+        raise ConfigurationError(
+            f"num_stages must lie in [1, {min_units}] (the smallest platform's unit "
+            f"count) for mappings to transfer across the grid, got {stages}"
+        )
+    if isinstance(cache, EvaluationCache):
+        shared_cache = cache
+    elif cache is not None:
+        shared_cache = EvaluationCache(path=cache)
+    else:
+        shared_cache = EvaluationCache()
+
+    frameworks: Dict[Tuple[str, str], MapAndConquer] = {}
+    cells = []
+    for scenario in scenario_objs:
+        for platform in platform_objs:
+            framework = MapAndConquer(
+                network,
+                platform,
+                num_stages=stages,
+                max_reuse_fraction=scenario.max_reuse_fraction,
+                accuracy_model=accuracy_model,
+                reorder_channels=reorder_channels,
+                validation_samples=validation_samples,
+                seed=seed,
+            )
+            result = framework.search(
+                generations=(
+                    scenario.generations if scenario.generations is not None else generations
+                ),
+                population_size=(
+                    scenario.population_size
+                    if scenario.population_size is not None
+                    else population_size
+                ),
+                constraints=scenario.resolve_constraints(),
+                seed=seed,
+                strategy=strategy,
+                backend=backend,
+                n_workers=n_workers,
+                cache=shared_cache,
+            )
+            ranking = None
+            if traffic is not None:
+                ranking = tuple(
+                    framework.rank_under_traffic(
+                        result.pareto,
+                        traffic,
+                        duration_ms=traffic_duration_ms,
+                        metric=traffic_metric,
+                        seed=seed,
+                    )
+                )
+            frameworks[(platform.name, scenario.name)] = framework
+            cells.append(
+                CampaignCell(
+                    platform_name=platform.name,
+                    scenario_name=scenario.name,
+                    result=result,
+                    best_objective=float(objective(result.best)),
+                    traffic_ranking=ranking,
+                )
+            )
+
+    portability = []
+    for scenario in scenario_objs:
+        for source in platform_objs:
+            source_cell = next(
+                cell
+                for cell in cells
+                if cell.platform_name == source.name
+                and cell.scenario_name == scenario.name
+            )
+            for target in platform_objs:
+                if target.name == source.name:
+                    continue
+                target_framework = frameworks[(target.name, scenario.name)]
+                target_cell = next(
+                    cell
+                    for cell in cells
+                    if cell.platform_name == target.name
+                    and cell.scenario_name == scenario.name
+                )
+                transferred = [
+                    target_framework.evaluate(
+                        translate_config(item.config, source, target)
+                    )
+                    for item in source_cell.front
+                ]
+                best_cross = min(float(objective(item)) for item in transferred)
+                portability.append(
+                    PortabilityEntry(
+                        source=source.name,
+                        target=target.name,
+                        scenario=scenario.name,
+                        transferred=len(transferred),
+                        surviving_on_front=count_surviving_on_front(
+                            transferred, target_cell.front
+                        ),
+                        best_cross_objective=best_cross,
+                        native_best_objective=target_cell.best_objective,
+                    )
+                )
+
+    return CampaignResult(
+        network_name=network.name,
+        platform_names=tuple(platform.name for platform in platform_objs),
+        scenario_names=tuple(scenario.name for scenario in scenario_objs),
+        cells=tuple(cells),
+        portability=tuple(portability),
+        seed=int(seed),
+    )

@@ -398,6 +398,63 @@ class MapAndConquer:
             deadline_ms=deadline_ms,
         )
 
+    # -- cross-platform campaigns -----------------------------------------------------
+    def campaign(
+        self,
+        platforms,
+        scenarios=None,
+        include_own_platform: bool = True,
+        seed: Optional[int] = None,
+        **kwargs,
+    ):
+        """Search this framework's network across a grid of platforms.
+
+        Thin wrapper over :func:`repro.campaign.run_campaign` bound to
+        ``self.network``: fans the search out over ``platforms`` (registry
+        preset names and/or :class:`~repro.soc.platform.Platform` instances;
+        this framework's own platform is prepended unless
+        ``include_own_platform=False`` or it is already in the list),
+        collects per-platform Pareto fronts and computes the portability
+        matrix.  The facade's platform-independent evaluator settings
+        (accuracy model, channel reordering, validation budget) carry over
+        to every cell, so the own-platform cell reproduces what
+        :meth:`search` would find.  A custom or surrogate cost model does
+        *not* carry over — it is calibrated to one platform and would
+        mis-score every other cell — so campaigning from such a framework
+        is rejected (see ROADMAP: per-platform surrogates).  See
+        :func:`repro.campaign.run_campaign` for the remaining keyword
+        arguments (strategy, backend, n_workers, cache, budgets, traffic
+        re-ranking).
+        """
+        from ..campaign import run_campaign
+        from ..soc.presets import get_platform
+
+        if self.cost_model is not None:
+            raise ConfigurationError(
+                "campaign() cannot reuse this framework's cost model: a custom or "
+                "surrogate cost model is calibrated to one platform and would "
+                "mis-score the other cells; build the campaign from an "
+                "analytical-oracle framework instead"
+            )
+        resolved = [
+            item if isinstance(item, Platform) else get_platform(item)
+            for item in platforms
+        ]
+        if include_own_platform and all(
+            platform.name != self.platform.name for platform in resolved
+        ):
+            resolved.insert(0, self.platform)
+        return run_campaign(
+            self.network,
+            resolved,
+            scenarios=scenarios,
+            seed=self.seed if seed is None else seed,
+            accuracy_model=self.evaluator.accuracy_model,
+            reorder_channels=self.evaluator.reorder_channels,
+            validation_samples=self.evaluator.validation_samples,
+            **kwargs,
+        )
+
     # -- Pareto selection -------------------------------------------------------------
     def pareto(self, evaluated: Sequence[EvaluatedConfig]) -> list:
         """Non-dominated subset of ``evaluated``."""

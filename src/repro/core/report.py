@@ -23,6 +23,9 @@ __all__ = [
     "search_summary",
     "serving_table",
     "serving_summary",
+    "campaign_table",
+    "portability_table",
+    "campaign_summary",
 ]
 
 
@@ -156,6 +159,102 @@ def serving_summary(metrics) -> str:
         f"utilisation: {utilisation}; mean in-flight {metrics.mean_in_flight:.2f} "
         f"(peak {metrics.peak_in_flight})",
     ]
+    return "\n".join(lines)
+
+
+def campaign_table(campaign) -> str:
+    """One row per (platform, scenario) cell of a campaign.
+
+    Reports the searched best mapping per cell — accuracy, averages, front
+    size — plus how many of the cell's Pareto points survive translation to
+    every *other* platform (summed over targets), the cross-platform
+    headline of :class:`~repro.campaign.runner.CampaignResult`.
+    """
+    rows = []
+    for cell in campaign.cells:
+        outbound = [
+            entry
+            for entry in campaign.portability
+            if entry.source == cell.platform_name and entry.scenario == cell.scenario_name
+        ]
+        transferred = sum(entry.transferred for entry in outbound)
+        surviving = sum(entry.surviving_on_front for entry in outbound)
+        best = cell.result.best
+        rows.append(
+            {
+                "platform": cell.platform_name,
+                "scenario": cell.scenario_name,
+                "evals": cell.result.num_evaluations,
+                "front": len(cell.front),
+                "best_lat_ms": best.latency_ms,
+                "best_enrg_mJ": best.energy_mj,
+                "acc_%": 100.0 * best.accuracy,
+                "travels": f"{surviving}/{transferred}" if transferred else "-",
+            }
+        )
+    return format_table(rows)
+
+
+def portability_table(campaign, scenario: Optional[str] = None) -> str:
+    """The regret matrix: rows are source platforms, columns are targets.
+
+    Each entry is ``best-transferred-objective / native-best-objective`` —
+    1.00 means the source front transfers perfectly; larger means deploying
+    the source's mappings on that target leaves quality on the table.
+    """
+    scenario = campaign.scenario_names[0] if scenario is None else scenario
+    matrix = campaign.portability_matrix(scenario)
+    rows = []
+    for source in campaign.platform_names:
+        row = {"searched on \\ deployed on": source}
+        for target in campaign.platform_names:
+            if source == target:
+                row[target] = "1.00*"
+            else:
+                row[target] = matrix[(source, target)]
+        rows.append(row)
+    return format_table(rows)
+
+
+def campaign_summary(campaign) -> str:
+    """Full plain-text report of a campaign run (deterministic for a seed).
+
+    Contains only seed-determined numbers — no wall-clock or cache-rate
+    telemetry — so two runs with the same seed produce byte-identical text
+    regardless of backend or machine.
+    """
+    lines = [
+        f"campaign: {campaign.network_name} x {len(campaign.platform_names)} platforms "
+        f"x {len(campaign.scenario_names)} scenarios (seed {campaign.seed})",
+        "",
+        campaign_table(campaign),
+    ]
+    for scenario in campaign.scenario_names:
+        lines.append("")
+        lines.append(f"portability regret ({scenario}):")
+        lines.append(portability_table(campaign, scenario))
+        dominated = [
+            entry
+            for entry in campaign.portability
+            if entry.scenario == scenario and not entry.fully_pareto_optimal
+        ]
+        for entry in dominated:
+            lines.append(
+                f"  {entry.source} front is not Pareto-optimal on {entry.target}: "
+                f"{entry.surviving_on_front}/{entry.transferred} mappings survive"
+            )
+    traffic_cells = [cell for cell in campaign.cells if cell.traffic_ranking]
+    if traffic_cells:
+        lines.append("")
+        lines.append("under shared traffic (best per platform):")
+        for cell in traffic_cells:
+            winner = cell.traffic_ranking[0]
+            lines.append(
+                f"  {cell.platform_name}/{cell.scenario_name}: "
+                f"{winner.deployment.name} "
+                f"(p99 {winner.metrics.p99_latency_ms:.2f} ms, "
+                f"{winner.metrics.energy_per_request_mj:.2f} mJ/req)"
+            )
     return "\n".join(lines)
 
 

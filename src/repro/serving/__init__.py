@@ -19,7 +19,13 @@ this time dropping the "one request at a time" idealisation:
 """
 
 from .bridge import TrafficRanking, rank_under_traffic, simulate_deployment
-from .metrics import ServingMetrics, compute_metrics, read_trace_jsonl, write_trace_jsonl
+from .metrics import (
+    ServingMetrics,
+    compute_metrics,
+    metric_direction,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
 from .policies import (
     AdaptiveSwitchPolicy,
     Deployment,
@@ -57,6 +63,7 @@ __all__ = [
     "ServingResult",
     "RequestRecord",
     "ServingMetrics",
+    "metric_direction",
     "compute_metrics",
     "write_trace_jsonl",
     "read_trace_jsonl",

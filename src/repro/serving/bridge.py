@@ -20,30 +20,12 @@ import numpy as np
 from ..dynamics.controller import ThresholdExitController
 from ..errors import ConfigurationError
 from ..soc.platform import Platform
-from .metrics import ServingMetrics, compute_metrics
+from .metrics import ServingMetrics, compute_metrics, metric_direction
 from .policies import Deployment, ServingPolicy, StaticPolicy
 from .simulator import ServingResult, TrafficSimulator
 from .workload import ArrivalProcess, Request
 
 __all__ = ["TrafficRanking", "simulate_deployment", "rank_under_traffic"]
-
-#: Metric attributes of :class:`ServingMetrics` that rank ascending (smaller
-#: is better).  Anything else is treated as descending (e.g. throughput).
-_ASCENDING_METRICS = frozenset(
-    {
-        "mean_latency_ms",
-        "p50_latency_ms",
-        "p95_latency_ms",
-        "p99_latency_ms",
-        "max_latency_ms",
-        "mean_queueing_ms",
-        "deadline_miss_rate",
-        "total_energy_mj",
-        "energy_per_request_mj",
-        "mean_in_flight",
-        "peak_in_flight",
-    }
-)
 
 
 @dataclass(frozen=True)
@@ -56,7 +38,12 @@ class TrafficRanking:
     metrics: ServingMetrics
 
     def score(self, metric: str) -> float:
-        """Value of ``metric`` for this candidate."""
+        """Value of ``metric`` for this candidate.
+
+        Only metrics with a declared sort direction are accepted; a typo or a
+        direction-less field raises :class:`~repro.errors.ConfigurationError`.
+        """
+        metric_direction(metric)
         return float(getattr(self.metrics, metric))
 
 
@@ -133,10 +120,9 @@ def rank_under_traffic(
     """
     if not candidates:
         raise ConfigurationError("rank_under_traffic needs at least one candidate")
-    # Dataclass fields live in __annotations__, not as class attributes; a
-    # plain hasattr() check would also accept method names like summary_row.
-    if metric not in ServingMetrics.__annotations__:
-        raise ConfigurationError(f"unknown serving metric {metric!r}")
+    # Resolve the declared sort direction up front: unknown or direction-less
+    # metric names fail here, before any simulation work.
+    reverse = metric_direction(metric) == "desc"
     requests = _resolve_requests(workload, duration_ms, seed)
     rankings = []
     for position, candidate in enumerate(candidates):
@@ -161,7 +147,6 @@ def rank_under_traffic(
                 metrics=compute_metrics(result),
             )
         )
-    reverse = metric not in _ASCENDING_METRICS
     rankings.sort(key=lambda ranking: ranking.score(metric), reverse=reverse)
     return rankings
 

@@ -12,7 +12,7 @@ seeded run always produces a byte-identical trace file.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Iterable, Mapping, Optional, Sequence, Tuple
 
@@ -23,34 +23,54 @@ from .simulator import RequestRecord, ServingResult
 
 __all__ = [
     "ServingMetrics",
+    "metric_direction",
     "compute_metrics",
     "write_trace_jsonl",
     "read_trace_jsonl",
 ]
 
 
+def _asc():
+    """Field that ranks ascending: smaller is better."""
+    return field(metadata={"rank": "asc"})
+
+
+def _desc():
+    """Field that ranks descending: bigger is better."""
+    return field(metadata={"rank": "desc"})
+
+
 @dataclass(frozen=True)
 class ServingMetrics:
-    """Distributional serving behaviour of one (policy, scenario) run."""
+    """Distributional serving behaviour of one (policy, scenario) run.
+
+    Every numeric quality metric declares its sort direction in the field
+    metadata (``rank: "asc"`` for smaller-is-better, ``"desc"`` for
+    bigger-is-better); fields without a direction (identifiers, raw trace
+    properties) cannot be ranked on.  :func:`metric_direction` is the single
+    authority :func:`repro.serving.bridge.rank_under_traffic` consults, so an
+    unknown or direction-less name raises instead of silently ranking the
+    wrong way.
+    """
 
     policy: str
     num_requests: int
     duration_ms: float
-    throughput_rps: float
-    mean_latency_ms: float
-    p50_latency_ms: float
-    p95_latency_ms: float
-    p99_latency_ms: float
-    max_latency_ms: float
-    mean_queueing_ms: float
-    deadline_miss_rate: float
-    accuracy: float
-    mean_stages: float
-    total_energy_mj: float
-    energy_per_request_mj: float
-    mean_in_flight: float
-    peak_in_flight: int
-    utilisation: Mapping[str, float]
+    throughput_rps: float = _desc()
+    mean_latency_ms: float = _asc()
+    p50_latency_ms: float = _asc()
+    p95_latency_ms: float = _asc()
+    p99_latency_ms: float = _asc()
+    max_latency_ms: float = _asc()
+    mean_queueing_ms: float = _asc()
+    deadline_miss_rate: float = _asc()
+    accuracy: float = _desc()
+    mean_stages: float = _asc()
+    total_energy_mj: float = _asc()
+    energy_per_request_mj: float = _asc()
+    mean_in_flight: float = _asc()
+    peak_in_flight: int = _asc()
+    utilisation: Mapping[str, float] = field(metadata={"rank": None})
 
     def summary_row(self) -> dict:
         """Flat dictionary for :func:`repro.core.report.format_table`."""
@@ -68,6 +88,27 @@ class ServingMetrics:
         for name, value in sorted(self.utilisation.items()):
             row[f"util_{name}_%"] = 100.0 * value
         return row
+
+
+def metric_direction(metric: str) -> str:
+    """Sort direction (``"asc"`` or ``"desc"``) declared for ``metric``.
+
+    Raises :class:`~repro.errors.ConfigurationError` for names that are not
+    :class:`ServingMetrics` fields (typos, removed fields) or that carry no
+    direction (identifiers like ``policy``, mappings like ``utilisation``),
+    instead of guessing a direction and silently mis-ranking.
+    """
+    by_name = {f.name: f for f in fields(ServingMetrics)}
+    entry = by_name.get(metric)
+    direction = entry.metadata.get("rank") if entry is not None else None
+    if direction is None:
+        rankable = sorted(
+            name for name, f in by_name.items() if f.metadata.get("rank") is not None
+        )
+        raise ConfigurationError(
+            f"unknown or unrankable serving metric {metric!r}; expected one of {rankable}"
+        )
+    return direction
 
 
 def _percentile(sorted_values: np.ndarray, q: float) -> float:

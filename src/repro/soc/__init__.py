@@ -12,7 +12,10 @@ the mapping framework consumes:
 * :mod:`repro.soc.interconnect` -- shared-memory transfer cost between CUs,
 * :mod:`repro.soc.memory` -- the shared DRAM pool bounding stored features,
 * :mod:`repro.soc.platform` -- the :class:`Platform` container and the
-  calibrated :func:`jetson_agx_xavier` factory.
+  calibrated :func:`jetson_agx_xavier` factory,
+* :mod:`repro.soc.presets` -- the calibrated platform zoo (Orin-class,
+  Nano-class, mobile big.LITTLE+NPU, server GPU), the
+  :func:`get_platform` registry and the :func:`derive` scaling helper.
 """
 
 from .dvfs import DvfsTable, OperatingPoint, PowerModel
@@ -20,6 +23,16 @@ from .compute_unit import ComputeUnit, ComputeUnitKind
 from .interconnect import Interconnect
 from .memory import SharedMemory
 from .platform import Platform, jetson_agx_xavier
+from .presets import (
+    derive,
+    get_platform,
+    jetson_agx_orin,
+    jetson_nano_class,
+    mobile_big_little,
+    platform_names,
+    platform_registry,
+    server_gpu,
+)
 
 __all__ = [
     "OperatingPoint",
@@ -31,4 +44,12 @@ __all__ = [
     "SharedMemory",
     "Platform",
     "jetson_agx_xavier",
+    "jetson_agx_orin",
+    "jetson_nano_class",
+    "mobile_big_little",
+    "server_gpu",
+    "platform_registry",
+    "platform_names",
+    "get_platform",
+    "derive",
 ]

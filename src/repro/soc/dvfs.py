@@ -101,8 +101,14 @@ class DvfsTable:
 
     @classmethod
     def from_frequencies(cls, frequencies_mhz: Sequence[float]) -> "DvfsTable":
-        """Build a table from a plain list of frequencies (sorted ascending)."""
-        ordered = sorted(float(f) for f in frequencies_mhz)
+        """Build a table from a plain list of frequencies (sorted ascending).
+
+        Duplicate frequencies collapse to a single operating point.  Keeping
+        them would create pairs of points with identical scaling factors,
+        which silently defeats :meth:`nearest_index`'s prefer-the-faster
+        tie-break (bumping to an equal neighbour changes nothing).
+        """
+        ordered = sorted({float(f) for f in frequencies_mhz})
         return cls(tuple(OperatingPoint(frequency_mhz=f) for f in ordered))
 
     @classmethod

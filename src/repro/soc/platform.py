@@ -61,6 +61,13 @@ class Platform:
         if len(set(names)) != len(names):
             raise PlatformError(f"platform {self.name!r} has duplicate compute-unit names")
         object.__setattr__(self, "compute_units", tuple(self.compute_units))
+        # Name lookups happen per stage in scheduling and per request in the
+        # serving event loop, so they must not scan the unit tuple each time.
+        object.__setattr__(
+            self,
+            "_unit_lookup",
+            {unit.name: (index, unit) for index, unit in enumerate(self.compute_units)},
+        )
 
     def __len__(self) -> int:
         return len(self.compute_units)
@@ -77,17 +84,17 @@ class Platform:
 
     def unit(self, name: str) -> ComputeUnit:
         """Look up a compute unit by name."""
-        for unit in self.compute_units:
-            if unit.name == name:
-                return unit
-        raise PlatformError(f"platform {self.name!r} has no compute unit named {name!r}")
+        entry = self._unit_lookup.get(name)
+        if entry is None:
+            raise PlatformError(f"platform {self.name!r} has no compute unit named {name!r}")
+        return entry[1]
 
     def unit_index(self, name: str) -> int:
         """Position of the compute unit called ``name``."""
-        for index, unit in enumerate(self.compute_units):
-            if unit.name == name:
-                return index
-        raise PlatformError(f"platform {self.name!r} has no compute unit named {name!r}")
+        entry = self._unit_lookup.get(name)
+        if entry is None:
+            raise PlatformError(f"platform {self.name!r} has no compute unit named {name!r}")
+        return entry[0]
 
     def units_of_kind(self, kind: ComputeUnitKind | str) -> Tuple[ComputeUnit, ...]:
         """All compute units of a given architectural kind."""

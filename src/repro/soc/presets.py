@@ -1,0 +1,334 @@
+"""Calibrated platform zoo: named heterogeneous MPSoC presets.
+
+The paper deploys on one board (the Jetson AGX Xavier of
+:func:`repro.soc.platform.jetson_agx_xavier`); the method itself is general
+over heterogeneous MPSoCs.  This module provides a registry of calibrated
+presets spanning the edge-performance scaling regimes the cross-platform
+campaign (:mod:`repro.campaign`) searches over, plus a :func:`derive` helper
+to generate what-if variants of any platform.
+
+Calibration invariants
+----------------------
+Every preset preserves the structural relationships the mapping method
+exploits, at different absolute scales:
+
+* the GPU (when present) sustains the highest conv2d throughput of the
+  platform — it is the latency-oriented unit;
+* fixed-function accelerators (``kind == DLA``: NVDLA engines, mobile NPUs)
+  deliver more sustained conv2d throughput per watt than every other unit —
+  they are the energy-oriented units;
+* accelerators are disproportionately weak on attention layers (their
+  ``utilisation["attention"]`` is below every non-accelerator unit's), which
+  is what makes transformer mappings platform-specific;
+* every compute unit exposes more than one DVFS operating point, so the
+  joint ``theta`` space is never degenerate.
+
+:mod:`tests.test_soc_presets` asserts these invariants for every registry
+entry, so a new preset that silently violates them fails CI.
+
+The throughput constants follow the same philosophy as the Xavier factory:
+*sustained batch-1 rates at CIFAR-scale layer sizes*, far below datasheet
+peaks, chosen so the relative speed/efficiency ratios between boards match
+public benchmark ratios rather than marketing TOPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..errors import PlatformError
+from .compute_unit import ComputeUnit, ComputeUnitKind
+from .dvfs import DvfsTable, PowerModel
+from .interconnect import Interconnect
+from .memory import SharedMemory
+from .platform import Platform, jetson_agx_xavier
+
+__all__ = [
+    "platform_registry",
+    "platform_names",
+    "get_platform",
+    "derive",
+    "jetson_agx_orin",
+    "jetson_nano_class",
+    "mobile_big_little",
+    "server_gpu",
+]
+
+#: Orin's Ampere GPU exposes a denser clock ladder than Xavier's Volta.
+ORIN_GPU_FREQUENCIES_MHZ = (306, 408, 510, 612, 714, 816, 918, 1020, 1122, 1224, 1300)
+
+#: Orin's second-generation DLA ladder.
+ORIN_DLA_FREQUENCIES_MHZ = (614, 778, 943, 1107, 1272, 1434, 1600)
+
+
+def jetson_agx_orin(feature_budget_mib: float = 24.0) -> Platform:
+    """An Orin-class successor board: stronger GPU, two faster DLAs.
+
+    Relative to the Xavier model: roughly 2x sustained GPU throughput with a
+    better attention pipeline (Ampere tensor cores), second-generation DLAs
+    that close some of the conv gap while staying the energy-efficient
+    choice, more DRAM bandwidth, and wider DVFS ladders on both unit types.
+    """
+    gpu = ComputeUnit(
+        name="gpu",
+        kind=ComputeUnitKind.GPU,
+        peak_gflops=85.0,
+        memory_bandwidth_gbs=200.0,
+        launch_overhead_ms=0.06,
+        power=PowerModel(static_w=5.0, dynamic_w=25.0),
+        dvfs=DvfsTable.from_frequencies(ORIN_GPU_FREQUENCIES_MHZ),
+        utilisation={"conv2d": 1.0, "attention": 0.80, "feedforward": 0.85, "linear": 0.55},
+    )
+    dla_utilisation = {"conv2d": 1.0, "attention": 0.35, "feedforward": 0.55, "linear": 0.45}
+    dla_power = PowerModel(static_w=0.35, dynamic_w=1.1)
+    dla0 = ComputeUnit(
+        name="dla0",
+        kind=ComputeUnitKind.DLA,
+        peak_gflops=24.0,
+        memory_bandwidth_gbs=75.0,
+        launch_overhead_ms=0.20,
+        power=dla_power,
+        dvfs=DvfsTable.from_frequencies(ORIN_DLA_FREQUENCIES_MHZ),
+        utilisation=dla_utilisation,
+    )
+    dla1 = replace(dla0, name="dla1")
+    return Platform(
+        name="jetson-agx-orin",
+        compute_units=(gpu, dla0, dla1),
+        interconnect=Interconnect(bandwidth_gbs=180.0, sync_overhead_ms=0.04, energy_pj_per_byte=50.0),
+        shared_memory=SharedMemory(
+            capacity_bytes=64 * 2**30,
+            feature_budget_bytes=int(feature_budget_mib * 2**20),
+        ),
+    )
+
+
+def jetson_nano_class(feature_budget_mib: float = 4.0) -> Platform:
+    """A Nano-class cut-down board: small GPU + CPU cluster, no accelerator.
+
+    The interesting regime is scarcity: a GPU an order of magnitude weaker
+    than the Xavier's, a short DVFS ladder, little DRAM bandwidth and a tiny
+    feature budget.  Mappings tuned on bigger boards overcommit the memory
+    and the second unit here, which is exactly what the portability matrix
+    of the campaign surfaces.
+    """
+    gpu = ComputeUnit(
+        name="gpu",
+        kind=ComputeUnitKind.GPU,
+        peak_gflops=6.0,
+        memory_bandwidth_gbs=22.0,
+        launch_overhead_ms=0.12,
+        power=PowerModel(static_w=1.2, dynamic_w=4.5),
+        dvfs=DvfsTable.from_frequencies((230, 460, 640, 850, 920)),
+        utilisation={"conv2d": 1.0, "attention": 0.60, "feedforward": 0.75, "linear": 0.45},
+    )
+    cpu = ComputeUnit(
+        name="cpu",
+        kind=ComputeUnitKind.CPU,
+        peak_gflops=1.2,
+        memory_bandwidth_gbs=12.0,
+        launch_overhead_ms=0.02,
+        power=PowerModel(static_w=0.6, dynamic_w=1.4),
+        dvfs=DvfsTable.from_frequencies((710, 918, 1224, 1479)),
+        utilisation={"conv2d": 0.55, "attention": 0.50, "feedforward": 0.55, "linear": 0.70},
+    )
+    return Platform(
+        name="jetson-nano-class",
+        compute_units=(gpu, cpu),
+        interconnect=Interconnect(bandwidth_gbs=20.0, sync_overhead_ms=0.08, energy_pj_per_byte=80.0),
+        shared_memory=SharedMemory(
+            capacity_bytes=4 * 2**30,
+            feature_budget_bytes=int(feature_budget_mib * 2**20),
+        ),
+    )
+
+
+def mobile_big_little(feature_budget_mib: float = 8.0) -> Platform:
+    """A big.LITTLE mobile SoC with an NPU (phone-class silicon).
+
+    No GPU in the mapping space (mobile GPUs are usually busy with the
+    display pipeline); instead a fixed-function NPU carries convolutions at
+    very low power but falls off a cliff on attention, a fast big-core
+    cluster is the flexible unit, and an efficiency cluster trades speed for
+    the lowest static power of the zoo.  DVFS ladders are mobile-style: many
+    steps, wide range.
+    """
+    npu = ComputeUnit(
+        name="npu",
+        kind=ComputeUnitKind.DLA,
+        peak_gflops=14.0,
+        memory_bandwidth_gbs=34.0,
+        launch_overhead_ms=0.18,
+        power=PowerModel(static_w=0.15, dynamic_w=0.55),
+        dvfs=DvfsTable.from_frequencies((312, 468, 624, 780, 936, 1100)),
+        utilisation={"conv2d": 1.0, "attention": 0.18, "feedforward": 0.45, "linear": 0.35},
+    )
+    big = ComputeUnit(
+        name="cpu-big",
+        kind=ComputeUnitKind.CPU,
+        peak_gflops=5.0,
+        memory_bandwidth_gbs=28.0,
+        launch_overhead_ms=0.015,
+        power=PowerModel(static_w=0.9, dynamic_w=3.6),
+        dvfs=DvfsTable.from_frequencies((500, 851, 1277, 1703, 2130, 2401, 2850)),
+        utilisation={"conv2d": 0.60, "attention": 0.55, "feedforward": 0.60, "linear": 0.75},
+    )
+    little = ComputeUnit(
+        name="cpu-little",
+        kind=ComputeUnitKind.CPU,
+        peak_gflops=1.6,
+        memory_bandwidth_gbs=16.0,
+        launch_overhead_ms=0.015,
+        power=PowerModel(static_w=0.12, dynamic_w=0.9),
+        dvfs=DvfsTable.from_frequencies((300, 576, 864, 1153, 1441, 1800)),
+        utilisation={"conv2d": 0.55, "attention": 0.50, "feedforward": 0.55, "linear": 0.70},
+    )
+    return Platform(
+        name="mobile-big-little",
+        compute_units=(npu, big, little),
+        interconnect=Interconnect(bandwidth_gbs=30.0, sync_overhead_ms=0.06, energy_pj_per_byte=70.0),
+        shared_memory=SharedMemory(
+            capacity_bytes=8 * 2**30,
+            feature_budget_bytes=int(feature_budget_mib * 2**20),
+        ),
+    )
+
+
+def server_gpu(feature_budget_mib: float = 256.0) -> Platform:
+    """A server-GPU baseline: one datacenter GPU plus a host CPU socket.
+
+    The anti-edge regime: throughput and memory are nearly free, static
+    power is enormous, and the DVFS ladder barely matters because the card
+    idles hot.  Energy-oriented mappings searched here look nothing like the
+    edge boards' — the campaign uses it as the far end of the scaling axis.
+    """
+    gpu = ComputeUnit(
+        name="gpu",
+        kind=ComputeUnitKind.GPU,
+        peak_gflops=900.0,
+        memory_bandwidth_gbs=1400.0,
+        launch_overhead_ms=0.03,
+        power=PowerModel(static_w=60.0, dynamic_w=240.0),
+        dvfs=DvfsTable.from_frequencies((210, 510, 810, 1110, 1410, 1710, 1980)),
+        utilisation={"conv2d": 1.0, "attention": 0.85, "feedforward": 0.90, "linear": 0.60},
+    )
+    cpu = ComputeUnit(
+        name="cpu",
+        kind=ComputeUnitKind.CPU,
+        peak_gflops=40.0,
+        memory_bandwidth_gbs=180.0,
+        launch_overhead_ms=0.01,
+        power=PowerModel(static_w=35.0, dynamic_w=90.0),
+        dvfs=DvfsTable.from_frequencies((1200, 1800, 2400, 3000, 3500)),
+        utilisation={"conv2d": 0.60, "attention": 0.55, "feedforward": 0.60, "linear": 0.75},
+    )
+    return Platform(
+        name="server-gpu",
+        compute_units=(gpu, cpu),
+        interconnect=Interconnect(bandwidth_gbs=64.0, sync_overhead_ms=0.02, energy_pj_per_byte=30.0),
+        shared_memory=SharedMemory(
+            capacity_bytes=512 * 2**30,
+            feature_budget_bytes=int(feature_budget_mib * 2**20),
+        ),
+    )
+
+
+#: The registry: canonical name -> zero-argument platform factory.
+_REGISTRY: Dict[str, Callable[[], Platform]] = {
+    "jetson-agx-xavier": jetson_agx_xavier,
+    "jetson-agx-orin": jetson_agx_orin,
+    "jetson-nano-class": jetson_nano_class,
+    "mobile-big-little": mobile_big_little,
+    "server-gpu": server_gpu,
+}
+
+
+def platform_registry() -> Dict[str, Callable[[], Platform]]:
+    """A copy of the preset registry (name -> factory)."""
+    return dict(_REGISTRY)
+
+
+def platform_names() -> Tuple[str, ...]:
+    """Canonical names of every registered preset, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _canonical(name: str) -> str:
+    return name.strip().lower().replace("_", "-").replace(" ", "-")
+
+
+def get_platform(name: str) -> Platform:
+    """Build the registered preset called ``name``.
+
+    Names are case-insensitive and underscore/dash agnostic
+    (``"Jetson_AGX_Orin"`` resolves to ``"jetson-agx-orin"``).
+    """
+    factory = _REGISTRY.get(_canonical(name))
+    if factory is None:
+        raise PlatformError(
+            f"unknown platform preset {name!r}; registered presets: {list(platform_names())}"
+        )
+    return factory()
+
+
+def derive(
+    base: Platform,
+    name: str,
+    gflops_scale: float = 1.0,
+    bandwidth_scale: float = 1.0,
+    power_scale: float = 1.0,
+    launch_overhead_scale: float = 1.0,
+    feature_budget_scale: float = 1.0,
+    dvfs_points: Optional[int] = None,
+    extra_units: Sequence[ComputeUnit] = (),
+) -> Platform:
+    """Generate a scaled variant of ``base`` (what-if platforms, sweeps).
+
+    Multiplies every compute unit's throughput, bandwidth, power terms and
+    launch overhead by the given factors, optionally resamples each DVFS
+    ladder to ``dvfs_points`` evenly spaced steps over its original range,
+    scales the shared-memory feature budget, and appends ``extra_units``.
+    Scaling factors apply uniformly, so the calibration invariants of the
+    registry presets (relative unit ordering) are preserved by construction.
+    """
+    if gflops_scale <= 0 or bandwidth_scale <= 0 or power_scale <= 0:
+        raise PlatformError("derive() scaling factors must be positive")
+    if launch_overhead_scale < 0 or feature_budget_scale <= 0:
+        raise PlatformError("derive() overhead/budget factors must be positive")
+    if dvfs_points is not None and dvfs_points < 2:
+        raise PlatformError(
+            "derive() needs dvfs_points >= 2: a single-point ladder would break the "
+            "zoo invariant that every unit's theta space is non-degenerate"
+        )
+    units = []
+    for unit in base.compute_units:
+        dvfs = unit.dvfs
+        if dvfs_points is not None:
+            frequencies = [point.frequency_mhz for point in dvfs.points]
+            dvfs = DvfsTable.linspace(min(frequencies), max(frequencies), dvfs_points)
+        units.append(
+            replace(
+                unit,
+                peak_gflops=unit.peak_gflops * gflops_scale,
+                memory_bandwidth_gbs=unit.memory_bandwidth_gbs * bandwidth_scale,
+                launch_overhead_ms=unit.launch_overhead_ms * launch_overhead_scale,
+                power=PowerModel(
+                    static_w=unit.power.static_w * power_scale,
+                    dynamic_w=unit.power.dynamic_w * power_scale,
+                ),
+                dvfs=dvfs,
+            )
+        )
+    units.extend(extra_units)
+    return Platform(
+        name=name,
+        compute_units=tuple(units),
+        interconnect=base.interconnect,
+        shared_memory=SharedMemory(
+            capacity_bytes=base.shared_memory.capacity_bytes,
+            feature_budget_bytes=max(
+                1, int(base.shared_memory.feature_budget_bytes * feature_budget_scale)
+            ),
+        ),
+    )

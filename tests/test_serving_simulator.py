@@ -278,6 +278,46 @@ class TestBridge:
                 [cascade], platform, PoissonArrivals(10.0), duration_ms=1000.0, metric="nope"
             )
 
+    def test_rank_rejects_misspelled_metric(self, platform, cascade):
+        """Regression: a typo used to silently rank descending (bigger wins)."""
+        with pytest.raises(ConfigurationError, match="p99_latencyms"):
+            rank_under_traffic(
+                [cascade],
+                platform,
+                PoissonArrivals(10.0),
+                duration_ms=1000.0,
+                metric="p99_latencyms",
+            )
+
+    def test_rank_rejects_directionless_fields(self, platform, cascade):
+        """Fields without a declared direction (policy, utilisation) cannot rank."""
+        for metric in ("policy", "utilisation", "num_requests"):
+            with pytest.raises(ConfigurationError):
+                rank_under_traffic(
+                    [cascade],
+                    platform,
+                    PoissonArrivals(10.0),
+                    duration_ms=1000.0,
+                    metric=metric,
+                )
+
+    def test_score_rejects_misspelled_metric(self, platform, cascade):
+        rankings = rank_under_traffic(
+            [cascade], platform, PoissonArrivals(10.0), duration_ms=1000.0, seed=0
+        )
+        with pytest.raises(ConfigurationError):
+            rankings[0].score("p99_latencyms")
+        with pytest.raises(ConfigurationError):
+            rankings[0].score("summary_row")
+
+    def test_every_declared_direction_is_rankable(self):
+        from repro.serving.metrics import metric_direction
+
+        assert metric_direction("p99_latency_ms") == "asc"
+        assert metric_direction("throughput_rps") == "desc"
+        assert metric_direction("accuracy") == "desc"
+        assert metric_direction("energy_per_request_mj") == "asc"
+
     def test_simulate_deployment_from_evaluated(
         self, tiny_config_evaluator, tiny_mapping_config, platform
     ):

@@ -56,9 +56,34 @@ class TestDvfsTable:
         with pytest.raises(ConfigurationError):
             DvfsTable(points=())
 
-    def test_duplicate_frequencies_rejected(self):
+    def test_from_frequencies_deduplicates(self):
+        """Duplicate frequencies collapse to one operating point on build."""
+        table = DvfsTable.from_frequencies([300, 300, 600, 600, 600, 900])
+        assert [p.frequency_mhz for p in table.points] == [300, 600, 900]
+
+    def test_direct_construction_rejects_duplicates(self):
+        points = (OperatingPoint(300.0), OperatingPoint(300.0), OperatingPoint(600.0))
         with pytest.raises(ConfigurationError):
-            DvfsTable.from_frequencies([300, 300, 600])
+            DvfsTable(points=points)
+
+    def test_nearest_index_tie_prefers_faster_neighbour(self):
+        table = DvfsTable.from_frequencies([300, 600, 900, 1200])
+        # 0.375 is exactly between the 0.25 and 0.5 scales: the tie must
+        # resolve to the faster point.
+        assert table.nearest_index(0.375) == 1
+        assert table.scale(table.nearest_index(0.375)) == pytest.approx(0.5)
+
+    def test_nearest_index_after_duplicate_dedup(self):
+        """Regression: duplicates used to neutralise the faster-on-tie bump.
+
+        With ``[300, 600, 600, 1200]`` the two middle points share scale 0.5,
+        so bumping from the first to the second changed nothing; after
+        deduplication the tie at 0.375 lands on the genuine 600 MHz point.
+        """
+        table = DvfsTable.from_frequencies([300, 600, 600, 1200])
+        assert len(table) == 3
+        index = table.nearest_index(0.375)
+        assert table[index].frequency_mhz == pytest.approx(600.0)
 
     def test_unsorted_points_rejected(self):
         points = (OperatingPoint(600.0), OperatingPoint(300.0))
