@@ -1,0 +1,212 @@
+"""Resumable, warm-started campaigns: the three scale features under test.
+
+Beyond the paper (and beyond PR 3's sequential campaign): this bench
+exercises the production-grade grid runner end to end.
+
+* **Kill-and-resume** — a campaign subprocess is SIGKILLed after its first
+  cell checkpoint lands on disk; resuming from ``checkpoint_dir`` must
+  reproduce the uninterrupted ``campaign_summary`` byte for byte, searching
+  only the unfinished cells.
+* **Transfer-aware warm starts** — seeding a related platform's search with
+  the translated Pareto front of an already-searched platform (HADAS-style
+  transfer) must reach the cold start's final hypervolume in *strictly
+  fewer generations* on at least one preset pair, while cold-start
+  behaviour itself stays bit-for-bit untouched.
+* **Cell parallelism** — the fan-out path must render the identical summary
+  (asserted as part of the resume test, where all three paths meet).
+
+``REPRO_CAMPAIGN_RESUME_SMOKE=1`` shrinks budgets for the CI smoke step
+without changing any assertion.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_campaign_resume.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+from repro.campaign import run_campaign, translate_front
+from repro.core.framework import MapAndConquer
+from repro.core.report import (
+    campaign_summary,
+    generations_to_reach,
+    hypervolume_curve,
+)
+from repro.nn.models import visformer
+from repro.soc.presets import get_platform
+
+SMOKE = os.environ.get("REPRO_CAMPAIGN_RESUME_SMOKE", "") == "1"
+
+GRID = ("jetson-agx-xavier", "mobile-big-little")
+GENERATIONS = 3 if SMOKE else 5
+POPULATION = 8 if SMOKE else 12
+SEED = 0
+
+#: (donor, receiver) preset pairs for the warm-start convergence study; the
+#: Xavier -> Orin pair shares its whole unit vocabulary, the mobile pair
+#: transfers across vocabularies.
+WARM_PAIRS = (
+    ("jetson-agx-xavier", "jetson-agx-orin"),
+    ("jetson-agx-xavier", "mobile-big-little"),
+)
+WARM_GENERATIONS = 6 if SMOKE else 12
+WARM_POPULATION = 10 if SMOKE else 16
+
+_CHILD_SCRIPT = textwrap.dedent(
+    """
+    from repro.campaign import run_campaign
+    from repro.nn.models import visformer
+
+    run_campaign(
+        visformer(),
+        {grid!r},
+        generations={generations},
+        population_size={population},
+        seed={seed},
+        checkpoint_dir={checkpoint_dir!r},
+    )
+    """
+)
+
+
+def test_kill_and_resume_byte_identity(tmp_path, save_table):
+    """SIGKILL mid-campaign, resume, and demand byte-identical output."""
+    uninterrupted = campaign_summary(
+        run_campaign(
+            visformer(), GRID, generations=GENERATIONS, population_size=POPULATION, seed=SEED
+        )
+    )
+
+    checkpoint_dir = tmp_path / "checkpoints"
+    checkpoint_file = checkpoint_dir / "campaign_cells.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        ["src"] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            _CHILD_SCRIPT.format(
+                grid=GRID,
+                generations=GENERATIONS,
+                population=POPULATION,
+                seed=SEED,
+                checkpoint_dir=str(checkpoint_dir),
+            ),
+        ],
+        env=env,
+    )
+    try:
+        # The hard kill lands as soon as the first cell checkpoint is on
+        # disk — i.e. mid-campaign, between cells.
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline:
+            if checkpoint_file.exists() and checkpoint_file.read_text().count("\n") >= 1:
+                break
+            if child.poll() is not None:
+                break
+            time.sleep(0.01)
+        else:
+            raise AssertionError("first checkpoint never appeared")
+    finally:
+        if child.poll() is None:
+            child.send_signal(signal.SIGKILL)
+        child.wait()
+
+    finished_cells = checkpoint_file.read_text().count("\n")
+    assert finished_cells >= 1
+    # The kill must have interrupted the grid for the resume to mean much;
+    # tiny race losses (child finishing everything) would void the test.
+    assert finished_cells < len(GRID), "child finished before the kill landed"
+
+    resumed = run_campaign(
+        visformer(),
+        GRID,
+        generations=GENERATIONS,
+        population_size=POPULATION,
+        seed=SEED,
+        checkpoint_dir=checkpoint_dir,
+    )
+    assert campaign_summary(resumed) == uninterrupted
+
+    # Where all paths meet: cell-parallel must agree with both of them.
+    parallel = run_campaign(
+        visformer(),
+        GRID,
+        generations=GENERATIONS,
+        population_size=POPULATION,
+        seed=SEED,
+        cell_workers=2,
+    )
+    assert campaign_summary(parallel) == uninterrupted
+
+    save_table(
+        "campaign_resume",
+        f"killed after {finished_cells}/{len(GRID)} cells; resume and "
+        f"cell-parallel summaries byte-identical\n\n" + uninterrupted,
+    )
+
+
+def test_warm_start_converges_in_fewer_generations(save_table):
+    """Translated fronts as seeds beat cold starts to the same hypervolume."""
+    network = visformer()
+    rows = []
+    wins = 0
+    for donor_name, receiver_name in WARM_PAIRS:
+        donor_platform = get_platform(donor_name)
+        receiver_platform = get_platform(receiver_name)
+        stages = min(donor_platform.num_units, receiver_platform.num_units)
+
+        donor = MapAndConquer(network, donor_platform, num_stages=stages, seed=SEED)
+        donor_result = donor.search(
+            generations=WARM_GENERATIONS, population_size=WARM_POPULATION, seed=SEED
+        )
+        seeds = list(
+            translate_front(donor_result.pareto, donor_platform, receiver_platform)
+        )[: WARM_POPULATION // 2]
+
+        receiver = MapAndConquer(network, receiver_platform, num_stages=stages, seed=SEED)
+        cold = receiver.search(
+            generations=WARM_GENERATIONS, population_size=WARM_POPULATION, seed=SEED
+        )
+        warm = receiver.search(
+            generations=WARM_GENERATIONS,
+            population_size=WARM_POPULATION,
+            seed=SEED,
+            initial_population=seeds,
+        )
+
+        # One shared reference point spanning everything either run saw.
+        union = list(cold.history) + list(warm.history)
+        reference = (
+            1.1 * max(item.latency_ms for item in union),
+            1.1 * max(item.energy_mj for item in union),
+            -0.9 * min(item.accuracy for item in union),
+        )
+        cold_curve = hypervolume_curve(cold, reference)
+        warm_curve = hypervolume_curve(warm, reference)
+        target = cold_curve[-1]
+        cold_gens = generations_to_reach(cold_curve, target)
+        warm_gens = generations_to_reach(warm_curve, target)
+        reached = warm_gens is not None
+        if reached and warm_gens < cold_gens:
+            wins += 1
+        rows.append(
+            f"{donor_name} -> {receiver_name}: cold reaches HV {target:.4f} at "
+            f"gen {cold_gens}, warm at gen {warm_gens} "
+            f"({'win' if reached and warm_gens < cold_gens else 'no win'})"
+        )
+
+    report = "\n".join(rows)
+    print(report)
+    save_table("campaign_warm_start", report)
+    assert wins >= 1, (
+        "warm start never reached the cold-start hypervolume in strictly "
+        "fewer generations on any preset pair:\n" + report
+    )

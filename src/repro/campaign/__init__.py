@@ -8,17 +8,21 @@ mappings are:
 
 * :mod:`repro.campaign.runner` -- :func:`run_campaign`, the grid driver
   producing per-platform Pareto fronts, the portability matrix and optional
-  under-traffic re-rankings,
+  under-traffic re-rankings; resumable (``checkpoint_dir=``), cell-parallel
+  (``cell_workers=``) and transfer-aware (``warm_start=True``),
+* :mod:`repro.campaign.checkpoint` -- persistent per-cell checkpoints with
+  seed/fingerprint safety so interrupted grids restart where they stopped,
 * :mod:`repro.campaign.portability` -- translating a mapping searched on
   one platform into another platform's unit/DVFS vocabulary and scoring the
-  transfer.
+  transfer (or seeding a warm start with it).
 
 Surfaced on the facade as :meth:`repro.core.framework.MapAndConquer.campaign`
 and rendered by :func:`repro.core.report.campaign_table` /
 :func:`repro.core.report.campaign_summary`.
 """
 
-from .portability import count_surviving_on_front, translate_config
+from .checkpoint import CampaignCheckpoint, CellExpectation, campaign_fingerprint
+from .portability import count_surviving_on_front, translate_config, translate_front
 from .runner import (
     CampaignCell,
     CampaignResult,
@@ -34,5 +38,9 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "translate_config",
+    "translate_front",
     "count_surviving_on_front",
+    "CampaignCheckpoint",
+    "CellExpectation",
+    "campaign_fingerprint",
 ]

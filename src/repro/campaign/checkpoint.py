@@ -1,0 +1,226 @@
+"""Persistent campaign checkpoints: restart a grid where it stopped.
+
+A campaign is embarrassingly resumable — every ``(platform, scenario)`` cell
+is an independent seeded search — so :class:`CampaignCheckpoint` persists
+each finished cell as one JSON line (next to the evaluation cache's JSONL,
+same append-only discipline) and :func:`repro.campaign.runner.run_campaign`
+skips restored cells on restart.  Restored results are pickle round-trips of
+the originals, so a resumed campaign renders a
+:func:`repro.core.report.campaign_summary` byte-identical to an
+uninterrupted run.
+
+Safety model
+------------
+Every line carries the campaign ``seed`` and a per-cell *fingerprint* of
+everything else that shapes that cell's search (network and platform
+contents — not just their names — stage count, strategy, resolved budget,
+scenario constraints, evaluator settings, warm-start mode).  On load:
+
+* a **seed or fingerprint mismatch raises**
+  :class:`~repro.errors.ConfigurationError` — silently mixing results from a
+  different seed or budget would poison the whole grid;
+* a cell for a **platform/scenario no longer in the grid** is ignored
+  (stale), and cells *added* to the grid simply are not in the file, so a
+  grown grid re-runs exactly the new cells;
+* a cell whose **warm-start donor chain changed** (platforms inserted before
+  it) is dropped and re-run — its seed population would differ;
+* a **malformed line** (truncated by a mid-write crash, foreign writer) is
+  skipped and logged, never fatal.
+
+.. warning::
+   The payload is a pickle, exactly like the evaluation cache's: only load
+   checkpoint files you wrote yourself or obtained from a trusted source.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import logging
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..search.evolutionary import SearchResult
+
+__all__ = [
+    "CampaignCheckpoint",
+    "CellExpectation",
+    "CheckpointStats",
+    "campaign_fingerprint",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Format marker written into every persisted line; bump on layout changes.
+_CHECKPOINT_VERSION = 1
+
+#: A cell's identity within one campaign grid.
+CellKey = Tuple[str, str]
+
+
+def campaign_fingerprint(**fields: object) -> str:
+    """Stable short digest of the settings that determine a cell's result.
+
+    Values are rendered with ``repr`` through a canonical JSON encoding, so
+    any change to the search budget, scenario constraints or evaluator
+    settings yields a different fingerprint and checkpointed cells written
+    under the old settings refuse to mix with the new run.
+    """
+    canonical = json.dumps(
+        {name: repr(value) for name, value in fields.items()}, sort_keys=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CellExpectation:
+    """What the current run demands of a checkpointed cell to accept it."""
+
+    fingerprint: str
+    donors: Tuple[str, ...] = ()
+
+
+@dataclass
+class CheckpointStats:
+    """What one :meth:`CampaignCheckpoint.load` pass found."""
+
+    restored: int = 0
+    stale: int = 0
+    donor_mismatch: int = 0
+    malformed: int = 0
+
+
+class CampaignCheckpoint:
+    """Append-only JSONL store of completed campaign cells.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding the checkpoint file (created on first store).
+    seed:
+        The campaign's master seed; lines written under any other seed make
+        :meth:`load` raise instead of silently mixing results.
+    """
+
+    FILENAME = "campaign_cells.jsonl"
+
+    def __init__(self, directory: Union[str, Path], seed: int) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / self.FILENAME
+        self.seed = int(seed)
+        self.stats = CheckpointStats()
+
+    # -- restore -----------------------------------------------------------------
+    def load(
+        self, expected: Mapping[CellKey, CellExpectation]
+    ) -> Dict[CellKey, SearchResult]:
+        """Restore every completed cell of the current grid.
+
+        ``expected`` maps each ``(platform, scenario)`` key of the *current*
+        grid to the fingerprint and warm-start donor chain the run would use
+        for it; keys not in the mapping are stale cells from an older grid
+        and are ignored.
+        """
+        restored: Dict[CellKey, SearchResult] = {}
+        self.stats = CheckpointStats()
+        if not self.path.exists():
+            return restored
+        with self.path.open("r", encoding="utf-8") as stream:
+            for line in stream:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                    if record.get("version") != _CHECKPOINT_VERSION:
+                        self.stats.malformed += 1
+                        continue
+                    seed = int(record["seed"])
+                    fingerprint = str(record["fingerprint"])
+                    key = (str(record["platform"]), str(record["scenario"]))
+                    donors = tuple(str(name) for name in record["donors"])
+                except (KeyError, TypeError, ValueError):
+                    self.stats.malformed += 1
+                    continue
+                if seed != self.seed:
+                    raise ConfigurationError(
+                        f"checkpoint {self.path} holds cell {key} written under seed "
+                        f"{seed}, but this campaign runs under seed {self.seed}; "
+                        f"refusing to mix seeds — use a fresh checkpoint_dir or "
+                        f"re-run with the original seed"
+                    )
+                expectation = expected.get(key)
+                if expectation is None:
+                    self.stats.stale += 1
+                    continue
+                if fingerprint != expectation.fingerprint:
+                    raise ConfigurationError(
+                        f"checkpoint {self.path} holds cell {key} written under a "
+                        f"different campaign configuration (fingerprint {fingerprint} "
+                        f"vs {expectation.fingerprint}): the search budget, scenario "
+                        f"constraints, stage count or evaluator settings changed; "
+                        f"use a fresh checkpoint_dir"
+                    )
+                if donors != expectation.donors:
+                    self.stats.donor_mismatch += 1
+                    continue
+                try:
+                    result = pickle.loads(base64.b64decode(record["payload"]))
+                    if not isinstance(result, SearchResult):
+                        self.stats.malformed += 1
+                        continue
+                except Exception:  # noqa: BLE001 - truncated payloads are survivable
+                    self.stats.malformed += 1
+                    continue
+                restored[key] = result
+        self.stats.restored = len(restored)
+        if self.stats.malformed:
+            logger.warning(
+                "campaign checkpoint %s: restored %d cells, skipped %d malformed "
+                "lines (expected after an interrupted write)",
+                self.path,
+                self.stats.restored,
+                self.stats.malformed,
+            )
+        if self.stats.donor_mismatch:
+            logger.info(
+                "campaign checkpoint %s: re-running %d cells whose warm-start "
+                "donor chain changed with the grid",
+                self.path,
+                self.stats.donor_mismatch,
+            )
+        return restored
+
+    # -- persist -----------------------------------------------------------------
+    def store(
+        self,
+        key: CellKey,
+        expectation: CellExpectation,
+        result: SearchResult,
+    ) -> None:
+        """Append one finished cell; flushed immediately so a later crash
+        costs at most the line being written."""
+        platform_name, scenario_name = key
+        record = {
+            "version": _CHECKPOINT_VERSION,
+            "seed": self.seed,
+            "fingerprint": expectation.fingerprint,
+            "platform": platform_name,
+            "scenario": scenario_name,
+            "donors": list(expectation.donors),
+            "metrics": {
+                "evaluations": result.num_evaluations,
+                "front": len(result.pareto),
+                "best_latency_ms": result.best.latency_ms,
+                "best_energy_mj": result.best.energy_mj,
+            },
+            "payload": base64.b64encode(pickle.dumps(result)).decode("ascii"),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as stream:
+            stream.write(json.dumps(record) + "\n")
+            stream.flush()

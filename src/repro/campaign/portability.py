@@ -31,7 +31,7 @@ from ..search.pareto import dominates
 from ..search.space import MappingConfig
 from ..soc.platform import Platform
 
-__all__ = ["translate_config", "count_surviving_on_front"]
+__all__ = ["translate_config", "translate_front", "count_surviving_on_front"]
 
 
 def _assign_units(
@@ -77,6 +77,20 @@ def translate_config(
         scale = source.unit(source_name).dvfs.scale(config.dvfs_indices[stage])
         dvfs_indices.append(target.unit(target_name).dvfs.nearest_index(scale))
     return replace(config, unit_names=unit_names, dvfs_indices=tuple(dvfs_indices))
+
+
+def translate_front(
+    front: Sequence[EvaluatedConfig], source: Platform, target: Platform
+) -> Tuple[MappingConfig, ...]:
+    """Translate a whole Pareto front into ``target``'s vocabulary.
+
+    The returned configurations are ready to seed ``target``'s search as a
+    warm-start initial population (HADAS-style transfer: a front found on a
+    related platform is a strong prior, not just a post-hoc portability
+    score).  Order follows the front, so truncating keeps the best-ranked
+    transfers.
+    """
+    return tuple(translate_config(item.config, source, target) for item in front)
 
 
 def count_surviving_on_front(

@@ -12,20 +12,38 @@ into platform B's vocabulary (:mod:`repro.campaign.portability`) and
 re-evaluated by B's own pipeline, yielding the regret of deploying A's
 mappings on B instead of searching B natively.
 
+Production-grade grid running (beyond the paper):
+
+* **Checkpointing** — pass ``checkpoint_dir=`` and every finished cell is
+  persisted (:mod:`repro.campaign.checkpoint`); an interrupted campaign
+  restarted with the same directory re-runs only the missing cells and
+  produces byte-identical output.
+* **Cell-level parallelism** — pass ``cell_workers=N`` and independent cells
+  fan out over a process pool, each cell owning its own backend exactly as
+  in the sequential path; results are merged deterministically, so the
+  summary stays bit-for-bit equal to a sequential run.
+* **Transfer-aware warm starts** — pass ``warm_start=True`` and every
+  platform after the first seeds its initial population with the translated
+  Pareto points of the platforms before it in the list (HADAS-style
+  transfer), cutting generations-to-converge instead of only scoring
+  portability post hoc.
+
 Optionally, every front is also re-ranked under one shared traffic scenario
 via :func:`repro.serving.bridge.rank_under_traffic`, so the campaign reports
 both isolated-sample and under-load winners per platform.
 
 Everything is seed-deterministic: the same seed produces byte-identical
-:func:`repro.core.report.campaign_summary` output, with serial and process
-backends agreeing bit for bit.
+:func:`repro.core.report.campaign_summary` output, with serial, process and
+cell-parallel paths agreeing bit for bit, interrupted or not.
 """
 
 from __future__ import annotations
 
+import logging
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..dynamics.accuracy import AccuracyModel
 from ..dynamics.samples import DEFAULT_VALIDATION_SAMPLES
@@ -36,10 +54,17 @@ from ..search.constraints import SearchConstraints
 from ..search.evaluation import EvaluatedConfig
 from ..search.evolutionary import SearchResult
 from ..search.objectives import paper_objective
+from ..search.space import MappingConfig
 from ..serving.workload import ArrivalProcess
 from ..soc.platform import Platform
 from ..soc.presets import get_platform
-from .portability import count_surviving_on_front, translate_config
+from .checkpoint import (
+    CampaignCheckpoint,
+    CellExpectation,
+    CellKey,
+    campaign_fingerprint,
+)
+from .portability import count_surviving_on_front, translate_config, translate_front
 
 __all__ = [
     "CampaignScenario",
@@ -48,6 +73,8 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Backend choices run_campaign accepts.  Instances are rejected: a backend
 #: is bound to one evaluator spec, and the campaign needs one per platform.
@@ -224,6 +251,75 @@ def _resolve_scenarios(
     return resolved
 
 
+@dataclass(frozen=True)
+class _CellTask:
+    """Picklable description of one cell's search, runnable in any process.
+
+    Everything a worker needs to rebuild the cell's framework bit-for-bit:
+    the same arguments the sequential path hands to
+    :class:`~repro.core.framework.MapAndConquer`, plus the warm-start seed
+    population already translated into this platform's vocabulary.
+    """
+
+    network: NetworkGraph
+    platform: Platform
+    scenario: CampaignScenario
+    stages: int
+    generations: int
+    population_size: int
+    strategy: str
+    backend: Optional[str]
+    n_workers: Optional[int]
+    accuracy_model: Optional[AccuracyModel]
+    reorder_channels: bool
+    validation_samples: int
+    seed: int
+    warm_seeds: Tuple[MappingConfig, ...] = ()
+
+
+def _build_cell_framework(task: _CellTask):
+    """The cell's framework; deterministic, so main and worker builds agree."""
+    from ..core.framework import MapAndConquer  # local import: core imports campaign
+
+    return MapAndConquer(
+        task.network,
+        task.platform,
+        num_stages=task.stages,
+        max_reuse_fraction=task.scenario.max_reuse_fraction,
+        accuracy_model=task.accuracy_model,
+        reorder_channels=task.reorder_channels,
+        validation_samples=task.validation_samples,
+        seed=task.seed,
+    )
+
+
+def _run_cell(
+    task: _CellTask,
+    cache: Optional[EvaluationCache] = None,
+    framework=None,
+) -> SearchResult:
+    """Run one cell's search.  Top-level so a process pool can dispatch it.
+
+    Workers call it with neither ``cache`` nor ``framework``: each rebuilds
+    the framework from the task and evaluates against a private cache, which
+    changes nothing observable — the evaluation pipeline is deterministic —
+    and keeps the shared JSONL cache single-writer.
+    """
+    if framework is None:
+        framework = _build_cell_framework(task)
+    return framework.search(
+        generations=task.generations,
+        population_size=task.population_size,
+        constraints=task.scenario.resolve_constraints(),
+        seed=task.seed,
+        strategy=task.strategy,
+        backend=task.backend,
+        n_workers=task.n_workers,
+        cache=cache,
+        initial_population=list(task.warm_seeds) if task.warm_seeds else None,
+    )
+
+
 def run_campaign(
     network: NetworkGraph,
     platforms: Sequence[Union[str, Platform]],
@@ -243,6 +339,9 @@ def run_campaign(
     reorder_channels: bool = True,
     validation_samples: int = DEFAULT_VALIDATION_SAMPLES,
     seed: int = 0,
+    checkpoint_dir: Union[str, Path, None] = None,
+    cell_workers: Optional[int] = None,
+    warm_start: bool = False,
 ) -> CampaignResult:
     """Search ``network`` across a platform x scenario grid and compare.
 
@@ -278,9 +377,25 @@ def run_campaign(
         calibrated per platform and do not transfer).
     seed:
         Master seed for every cell's search (and the traffic replays).
+    checkpoint_dir:
+        Optional directory for cell checkpoints.  Finished cells are
+        persisted there and skipped on restart; resuming an interrupted
+        campaign yields output byte-identical to an uninterrupted run.  A
+        checkpoint written under a different seed or campaign configuration
+        raises :class:`~repro.errors.ConfigurationError` rather than mixing.
+    cell_workers:
+        Fan independent cells over a pool of this many worker processes
+        (``None``/1 keeps the sequential path).  Each cell still owns its
+        backend; combine with ``backend="process"``/``n_workers`` for nested
+        parallelism on big machines, but mind total process count.  Results
+        are bit-for-bit identical to the sequential path.
+    warm_start:
+        Seed each platform's initial population with the translated Pareto
+        points of the platforms *before it in the list* (same scenario),
+        capped at half the population so exploration survives.  The first
+        platform always runs cold.  Cells then run in platform-order waves
+        so donors finish first — identically under ``cell_workers``.
     """
-    from ..core.framework import MapAndConquer  # local import: core imports campaign
-
     platform_objs = _resolve_platforms(platforms)
     scenario_objs = _resolve_scenarios(scenarios)
     if backend is not None and not isinstance(backend, str):
@@ -292,6 +407,8 @@ def run_campaign(
         raise ConfigurationError(
             f"unknown backend {backend!r}; expected one of {_BACKEND_NAMES}"
         )
+    if cell_workers is not None and int(cell_workers) < 1:
+        raise ConfigurationError(f"cell_workers must be >= 1, got {cell_workers}")
     # Fail on an unusable traffic request now, not after the first cell's
     # whole search has already been spent.
     if isinstance(traffic, ArrivalProcess) and traffic_duration_ms is None:
@@ -311,41 +428,182 @@ def run_campaign(
         shared_cache = EvaluationCache(path=cache)
     else:
         shared_cache = EvaluationCache()
+    workers = 1 if cell_workers is None else int(cell_workers)
+    platform_by_name = {platform.name: platform for platform in platform_objs}
+    scenario_by_name = {scenario.name: scenario for scenario in scenario_objs}
 
-    frameworks: Dict[Tuple[str, str], MapAndConquer] = {}
-    cells = []
+    def cell_budget(scenario: CampaignScenario) -> Tuple[int, int]:
+        gens = scenario.generations if scenario.generations is not None else generations
+        pop = (
+            scenario.population_size
+            if scenario.population_size is not None
+            else population_size
+        )
+        return gens, pop
+
+    # What this run demands of every cell — used both to validate restored
+    # checkpoints and to label freshly finished ones.
+    expectations: Dict[CellKey, CellExpectation] = {}
     for scenario in scenario_objs:
-        for platform in platform_objs:
-            framework = MapAndConquer(
-                network,
-                platform,
+        for index, platform in enumerate(platform_objs):
+            gens, pop = cell_budget(scenario)
+            donors = tuple(p.name for p in platform_objs[:index]) if warm_start else ()
+            # Network and platform enter by *content* (their full reprs), not
+            # by name: a same-named network or board with different
+            # calibration must invalidate the cell, not silently restore the
+            # old one.  The scalar objective is deliberately absent — it is
+            # applied post hoc in the main process and never shapes a cell's
+            # search result, so changing it keeps checkpoints valid.
+            fingerprint = campaign_fingerprint(
+                network=network,
+                platform=platform,
                 num_stages=stages,
-                max_reuse_fraction=scenario.max_reuse_fraction,
+                strategy=strategy,
+                generations=gens,
+                population_size=pop,
+                scenario=(scenario.name, scenario.max_reuse_fraction, scenario.constraints),
                 accuracy_model=accuracy_model,
                 reorder_channels=reorder_channels,
                 validation_samples=validation_samples,
-                seed=seed,
+                warm_start=bool(warm_start),
             )
-            result = framework.search(
-                generations=(
-                    scenario.generations if scenario.generations is not None else generations
-                ),
-                population_size=(
-                    scenario.population_size
-                    if scenario.population_size is not None
-                    else population_size
-                ),
-                constraints=scenario.resolve_constraints(),
-                seed=seed,
-                strategy=strategy,
-                backend=backend,
-                n_workers=n_workers,
-                cache=shared_cache,
+            expectations[(platform.name, scenario.name)] = CellExpectation(
+                fingerprint=fingerprint, donors=donors
             )
+
+    checkpoint: Optional[CampaignCheckpoint] = None
+    completed: Dict[CellKey, SearchResult] = {}
+    if checkpoint_dir is not None:
+        checkpoint = CampaignCheckpoint(checkpoint_dir, seed=int(seed))
+        completed = checkpoint.load(expectations)
+        if completed:
+            logger.info(
+                "campaign resume: %d of %d cells restored from %s",
+                len(completed),
+                len(expectations),
+                checkpoint.path,
+            )
+    offloaded = set(completed)  # cells whose evaluations bypassed shared_cache
+
+    def make_task(key: CellKey, with_seeds: bool = True) -> _CellTask:
+        platform_name, scenario_name = key
+        platform = platform_by_name[platform_name]
+        scenario = scenario_by_name[scenario_name]
+        gens, pop = cell_budget(scenario)
+        warm_seeds: Tuple[MappingConfig, ...] = ()
+        if warm_start and with_seeds:
+            collected: List[MappingConfig] = []
+            for donor_name in expectations[key].donors:
+                donor_result = completed.get((donor_name, scenario_name))
+                if donor_result is None:  # pragma: no cover - wave order forbids this
+                    raise RuntimeError(
+                        f"warm-start donor {donor_name!r} not finished before {key}"
+                    )
+                collected.extend(
+                    translate_front(
+                        donor_result.pareto, platform_by_name[donor_name], platform
+                    )
+                )
+            # Half the population stays randomly sampled so the warm start
+            # biases the search without collapsing its exploration.
+            warm_seeds = tuple(collected[: pop // 2])
+        return _CellTask(
+            network=network,
+            platform=platform,
+            scenario=scenario,
+            stages=stages,
+            generations=gens,
+            population_size=pop,
+            strategy=strategy,
+            backend=backend,
+            n_workers=n_workers,
+            accuracy_model=accuracy_model,
+            reorder_channels=reorder_channels,
+            validation_samples=validation_samples,
+            seed=int(seed),
+            warm_seeds=warm_seeds,
+        )
+
+    def finish_cell(key: CellKey, result: SearchResult) -> None:
+        completed[key] = result
+        if checkpoint is not None:
+            checkpoint.store(key, expectations[key], result)
+
+    # Warm starts order the grid into platform-index waves (donors first);
+    # without them every cell is independent and forms one wave.  Cells
+    # inside a wave are mutually independent, so the wave is the unit of
+    # fan-out — and the deterministic merge makes execution order invisible.
+    if warm_start:
+        waves: List[List[CellKey]] = [
+            [(platform.name, scenario.name) for scenario in scenario_objs]
+            for platform in platform_objs
+        ]
+    else:
+        waves = [
+            [
+                (platform.name, scenario.name)
+                for scenario in scenario_objs
+                for platform in platform_objs
+            ]
+        ]
+
+    executor: Optional[ProcessPoolExecutor] = None
+    frameworks = {}
+    try:
+        for wave in waves:
+            pending = [key for key in wave if key not in completed]
+            if not pending:
+                continue
+            tasks = {key: make_task(key) for key in pending}
+            if workers > 1 and len(pending) > 1:
+                if executor is None:
+                    executor = ProcessPoolExecutor(max_workers=workers)
+                futures = {
+                    executor.submit(_run_cell, tasks[key]): key for key in pending
+                }
+                for future in as_completed(futures):
+                    key = futures[future]
+                    finish_cell(key, future.result())
+                    offloaded.add(key)
+            else:
+                for key in pending:
+                    framework = _build_cell_framework(tasks[key])
+                    frameworks[key] = framework
+                    finish_cell(key, _run_cell(tasks[key], shared_cache, framework))
+    finally:
+        if executor is not None:
+            executor.shutdown()
+
+    # Main-process frameworks for the cells searched elsewhere (restored or
+    # worker-run): portability re-evaluation, traffic re-ranks, and digests
+    # for merging offloaded histories into the shared cache.  Seeds are not
+    # recomputed — the framework construction never reads them.
+    for scenario in scenario_objs:
+        for platform in platform_objs:
+            key = (platform.name, scenario.name)
+            if key not in frameworks:
+                frameworks[key] = _build_cell_framework(make_task(key, with_seeds=False))
+
+    # Restored and worker-run cells never touched shared_cache; merge their
+    # histories so the grid-wide (and persistent) cache stays complete.
+    for scenario in scenario_objs:
+        for platform in platform_objs:
+            key = (platform.name, scenario.name)
+            if key not in offloaded:
+                continue
+            evaluator = frameworks[key].evaluator
+            for item in completed[key].history:
+                shared_cache.store(evaluator.content_digest(item.config), item)
+
+    cells = []
+    for scenario in scenario_objs:
+        for platform in platform_objs:
+            key = (platform.name, scenario.name)
+            result = completed[key]
             ranking = None
             if traffic is not None:
                 ranking = tuple(
-                    framework.rank_under_traffic(
+                    frameworks[key].rank_under_traffic(
                         result.pareto,
                         traffic,
                         duration_ms=traffic_duration_ms,
@@ -353,7 +611,6 @@ def run_campaign(
                         seed=seed,
                     )
                 )
-            frameworks[(platform.name, scenario.name)] = framework
             cells.append(
                 CampaignCell(
                     platform_name=platform.name,

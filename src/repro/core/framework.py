@@ -176,6 +176,7 @@ class MapAndConquer:
         backend: "str | EvaluationBackend | None" = None,
         n_workers: Optional[int] = None,
         cache: "EvaluationCache | str | Path | None" = None,
+        initial_population: Optional[Sequence[MappingConfig]] = None,
     ) -> SearchResult:
         """Run the mapping search (Fig. 5) and return its result.
 
@@ -203,6 +204,13 @@ class MapAndConquer:
             a path to a JSON-lines file for persistence across runs; ``None``
             uses this framework's own :attr:`evaluation_cache`, shared across
             every search it runs.
+        initial_population:
+            Optional warm-start seeds: configurations (at most
+            ``population_size`` of them) evaluated as-is in the first
+            generation before any random sampling — typically Pareto points
+            translated from a related platform
+            (:func:`repro.campaign.translate_config`).  ``None`` keeps the
+            cold-start behaviour bit-for-bit.
         """
         strategy_obj = self._build_strategy(
             strategy,
@@ -213,6 +221,7 @@ class MapAndConquer:
             elite_fraction=elite_fraction,
             mutation_rate=mutation_rate,
             seed=seed,
+            initial_population=initial_population,
         )
         # The engine ranks the final result; keep its view aligned with the
         # strategy's own objective/constraints when an instance carries them
@@ -256,6 +265,7 @@ class MapAndConquer:
         elite_fraction: Optional[float],
         mutation_rate: Optional[float],
         seed: Optional[int],
+        initial_population: Optional[Sequence[MappingConfig]] = None,
     ) -> SearchStrategy:
         if isinstance(strategy, SearchStrategy):
             conflicting = {
@@ -264,6 +274,7 @@ class MapAndConquer:
                 "elite_fraction": elite_fraction,
                 "mutation_rate": mutation_rate,
                 "seed": seed,
+                "initial_population": initial_population,
             }
             passed = [name for name, value in conflicting.items() if value is not None]
             if passed:
@@ -289,6 +300,7 @@ class MapAndConquer:
                 elite_fraction=elite_fraction,
                 mutation_rate=mutation_rate,
                 seed=seed,
+                initial_population=initial_population,
             )
         if strategy == "nsga2":
             return NSGA2Strategy(
@@ -298,6 +310,7 @@ class MapAndConquer:
                 generations=generations,
                 mutation_rate=mutation_rate,
                 seed=seed,
+                initial_population=initial_population,
             )
         if strategy == "random":
             return RandomStrategy(
@@ -305,6 +318,7 @@ class MapAndConquer:
                 population_size=population_size,
                 generations=generations,
                 seed=seed,
+                initial_population=initial_population,
             )
         raise ConfigurationError(
             f"unknown strategy {strategy!r}; expected one of {STRATEGY_NAMES} "

@@ -9,10 +9,11 @@ publication.  Only string formatting lives here; all numbers come from
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from ..search.evaluation import EvaluatedConfig
 from ..search.evolutionary import SearchResult
+from ..search.pareto import hypervolume
 
 __all__ = [
     "format_table",
@@ -26,6 +27,8 @@ __all__ = [
     "campaign_table",
     "portability_table",
     "campaign_summary",
+    "hypervolume_curve",
+    "generations_to_reach",
 ]
 
 
@@ -256,6 +259,40 @@ def campaign_summary(campaign) -> str:
                 f"{winner.metrics.energy_per_request_mj:.2f} mJ/req)"
             )
     return "\n".join(lines)
+
+
+def hypervolume_curve(
+    result: SearchResult, reference: Sequence[float]
+) -> List[float]:
+    """Cumulative dominated hypervolume after each generation of a search.
+
+    The engine's history is deduplicated in discovery order and every
+    :class:`~repro.search.evolutionary.GenerationStats` records how many
+    configurations it contributed (``new_configs``), so the front the search
+    knew after generation ``g`` is exactly a prefix of the history.  The
+    returned list has one entry per generation and is non-decreasing; two
+    searches are compared by how fast their curves rise towards a shared
+    ``reference`` point (latency, energy, negated accuracy — all minimised).
+    """
+    curve: List[float] = []
+    offset = 0
+    for stats in result.generations:
+        offset += stats.new_configs
+        curve.append(hypervolume(result.history[:offset], reference))
+    return curve
+
+
+def generations_to_reach(curve: Sequence[float], target: float) -> Optional[int]:
+    """First generation index at which ``curve`` reaches ``target``.
+
+    ``curve`` is a per-generation quality sequence (e.g. from
+    :func:`hypervolume_curve`, where larger is better); returns ``None`` when
+    the target is never reached within the budget.
+    """
+    for generation, value in enumerate(curve):
+        if value >= target:
+            return generation
+    return None
 
 
 def search_summary(result: SearchResult) -> str:

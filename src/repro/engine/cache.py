@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import base64
 import json
+import logging
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
@@ -33,6 +34,8 @@ from ..errors import ConfigurationError
 from ..search.evaluation import EvaluatedConfig
 
 __all__ = ["CacheStats", "EvaluationCache"]
+
+logger = logging.getLogger(__name__)
 
 #: Format marker written into every persisted line; bump on layout changes.
 _PERSIST_VERSION = 1
@@ -137,20 +140,40 @@ class EvaluationCache:
             stream.write(json.dumps(record) + "\n")
 
     def _load(self) -> None:
+        """Reload persisted entries, surviving a mid-write crash.
+
+        A process killed while :meth:`_append` is flushing (e.g. a campaign
+        interrupted between checkpoints) leaves a truncated trailing line;
+        foreign tools may leave other malformed lines.  Neither aborts the
+        load — every malformed line is skipped and the recovery is logged so
+        silent data loss is visible in the run's logs.
+        """
+        skipped = 0
         with self.path.open("r", encoding="utf-8") as stream:
             for line in stream:
-                line = line.strip()
-                if not line:
+                stripped = line.strip()
+                if not stripped:
                     continue
                 try:
-                    record = json.loads(line)
+                    record = json.loads(stripped)
                     if record.get("version") != _PERSIST_VERSION:
+                        skipped += 1
                         continue
                     digest = record["key"]
                     value = pickle.loads(base64.b64decode(record["payload"]))
                     if not isinstance(value, EvaluatedConfig):
+                        skipped += 1
                         continue
                 except Exception:  # noqa: BLE001 - tolerate truncated/foreign lines
+                    skipped += 1
                     continue
                 self._entries[digest] = value
                 self.stats.loaded += 1
+        if skipped:
+            logger.warning(
+                "evaluation cache %s: recovered %d entries, skipped %d malformed "
+                "or foreign lines (expected after an interrupted write)",
+                self.path,
+                self.stats.loaded,
+                skipped,
+            )

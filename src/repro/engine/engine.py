@@ -131,10 +131,12 @@ class SearchEngine:
             evaluated, digests = self._evaluate_with_digests(population)
             wall_clock_s = time.perf_counter() - started
             hit_rate = self.cache.stats.window_hit_rate(window)
+            new_configs = 0
             for item, digest in zip(evaluated, digests):
                 if digest not in seen_digests:
                     seen_digests.add(digest)
                     history.append(item)
+                    new_configs += 1
             feasible = [
                 item
                 for item in evaluated
@@ -153,6 +155,7 @@ class SearchEngine:
                     best_accuracy=best.accuracy,
                     cache_hit_rate=hit_rate,
                     wall_clock_s=wall_clock_s,
+                    new_configs=new_configs,
                 )
             )
             strategy.tell(evaluated)

@@ -24,7 +24,7 @@ from ..search.evaluation import EvaluatedConfig
 from ..search.operators import crossover, mutate
 from ..search.space import MappingConfig, SearchSpace
 from ..utils import as_rng
-from .strategies import SearchStrategy, _check_common_budget
+from .strategies import SearchStrategy, _check_common_budget, resolve_initial_population
 
 __all__ = ["objective_matrix", "non_dominated_sort", "crowding_distance", "NSGA2Strategy"]
 
@@ -120,6 +120,7 @@ class NSGA2Strategy(SearchStrategy):
         generations: int = 200,
         mutation_rate: float = 0.8,
         seed: "int | np.random.Generator | None" = 0,
+        initial_population: Optional[Sequence[MappingConfig]] = None,
     ) -> None:
         _check_common_budget(population_size, generations)
         if not 0 <= mutation_rate <= 1:
@@ -129,6 +130,9 @@ class NSGA2Strategy(SearchStrategy):
         self.population_size = population_size
         self.generations = generations
         self.mutation_rate = mutation_rate
+        self.initial_population = resolve_initial_population(
+            initial_population, population_size
+        )
         self._rng = as_rng(seed)
         self._generation = 0
         self._parents: List[EvaluatedConfig] = []
@@ -142,7 +146,10 @@ class NSGA2Strategy(SearchStrategy):
         if self._generation >= self.generations:
             return []
         if not self._parents:
-            return self.space.population(self.population_size, self._rng)
+            seeds = list(self.initial_population)
+            remainder = self.population_size - len(seeds)
+            fresh = self.space.population(remainder, self._rng) if remainder else []
+            return seeds + fresh
         return self._breed()
 
     def tell(self, evaluated: List[EvaluatedConfig]) -> None:

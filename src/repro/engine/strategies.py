@@ -19,7 +19,7 @@ The NSGA-II strategy lives in :mod:`repro.engine.nsga`.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,34 @@ from ..search.space import MappingConfig, SearchSpace
 from ..utils import as_rng
 
 __all__ = ["SearchStrategy", "EvolutionaryStrategy", "RandomStrategy"]
+
+
+def resolve_initial_population(
+    initial_population: Optional[Sequence[MappingConfig]],
+    population_size: int,
+) -> Tuple[MappingConfig, ...]:
+    """Validate a warm-start seed population against a strategy's budget.
+
+    Returns the seeds as a tuple (empty for ``None``).  Seeds beyond
+    ``population_size`` are rejected rather than silently dropped: the caller
+    chose them deliberately, so losing some must be its decision (the
+    campaign runner caps donor fronts before handing them over).
+    """
+    if initial_population is None:
+        return ()
+    seeds = tuple(initial_population)
+    for item in seeds:
+        if not isinstance(item, MappingConfig):
+            raise SearchError(
+                f"initial_population must contain MappingConfig instances, "
+                f"got {type(item).__name__}"
+            )
+    if len(seeds) > population_size:
+        raise SearchError(
+            f"initial_population has {len(seeds)} seeds but the population "
+            f"holds only {population_size}; trim the seeds explicitly"
+        )
+    return seeds
 
 
 class SearchStrategy:
@@ -78,6 +106,7 @@ class EvolutionaryStrategy(SearchStrategy):
         mutation_rate: float = 0.8,
         fresh_fraction: float = 0.10,
         seed: "int | np.random.Generator | None" = 0,
+        initial_population: Optional[Sequence[MappingConfig]] = None,
     ) -> None:
         _check_common_budget(population_size, generations)
         if not 0 < elite_fraction <= 1:
@@ -94,6 +123,9 @@ class EvolutionaryStrategy(SearchStrategy):
         self.elite_fraction = elite_fraction
         self.mutation_rate = mutation_rate
         self.fresh_fraction = fresh_fraction
+        self.initial_population = resolve_initial_population(
+            initial_population, population_size
+        )
         self._rng = as_rng(seed)
         self._generation = 0
         self._population: Optional[List[MappingConfig]] = None
@@ -102,7 +134,13 @@ class EvolutionaryStrategy(SearchStrategy):
         if self._generation >= self.generations:
             return []
         if self._population is None:
-            self._population = self.space.population(self.population_size, self._rng)
+            # Warm start: seeds lead, random samples fill the remainder.  An
+            # empty seed tuple consumes the RNG exactly like the seed repo's
+            # cold start, so existing runs stay bit-for-bit reproducible.
+            seeds = list(self.initial_population)
+            remainder = self.population_size - len(seeds)
+            fresh = self.space.population(remainder, self._rng) if remainder else []
+            self._population = seeds + fresh
         return list(self._population)
 
     def tell(self, evaluated: List[EvaluatedConfig]) -> None:
@@ -143,17 +181,25 @@ class RandomStrategy(SearchStrategy):
         population_size: int = 60,
         generations: int = 200,
         seed: "int | np.random.Generator | None" = 0,
+        initial_population: Optional[Sequence[MappingConfig]] = None,
     ) -> None:
         _check_common_budget(population_size, generations)
         self.space = space
         self.population_size = population_size
         self.generations = generations
+        self.initial_population = resolve_initial_population(
+            initial_population, population_size
+        )
         self._rng = as_rng(seed)
         self._generation = 0
 
     def ask(self) -> List[MappingConfig]:
         if self._generation >= self.generations:
             return []
+        if self._generation == 0 and self.initial_population:
+            seeds = list(self.initial_population)
+            remainder = self.population_size - len(seeds)
+            return seeds + (self.space.population(remainder, self._rng) if remainder else [])
         return self.space.population(self.population_size, self._rng)
 
     def tell(self, evaluated: List[EvaluatedConfig]) -> None:

@@ -31,7 +31,11 @@ class GenerationStats:
     ``cache_hit_rate`` and ``wall_clock_s`` are engine telemetry: the
     fraction of this generation's evaluations served from the shared
     evaluation cache, and the wall-clock time the generation's evaluation
-    took (including dispatch to parallel backends).
+    took (including dispatch to parallel backends).  ``new_configs`` counts
+    the configurations this generation contributed to the deduplicated
+    search history, so cumulative per-generation fronts (and hence
+    hypervolume-convergence curves) can be reconstructed from a
+    :class:`SearchResult` without re-running the search.
     """
 
     generation: int
@@ -43,6 +47,7 @@ class GenerationStats:
     best_accuracy: float
     cache_hit_rate: float = 0.0
     wall_clock_s: float = 0.0
+    new_configs: int = 0
 
 
 @dataclass(frozen=True)

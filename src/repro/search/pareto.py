@@ -19,6 +19,7 @@ from .objectives import energy_oriented_objective, latency_oriented_objective
 __all__ = [
     "dominates",
     "pareto_front",
+    "hypervolume",
     "select_latency_oriented",
     "select_energy_oriented",
 ]
@@ -55,6 +56,53 @@ def pareto_front(
             continue
         front.append(candidate)
     return front
+
+
+def _hv_recursive(points: Sequence[Sequence[float]], reference: Sequence[float]) -> float:
+    """Hypervolume by dimension sweep: slabs along the first objective times
+    the recursively computed hypervolume of the remaining objectives."""
+    if not points:
+        return 0.0
+    if len(reference) == 1:
+        return reference[0] - min(point[0] for point in points)
+    ordered = sorted(points)
+    total = 0.0
+    for index, point in enumerate(ordered):
+        upper = ordered[index + 1][0] if index + 1 < len(ordered) else reference[0]
+        width = upper - point[0]
+        if width <= 0.0:
+            continue
+        slab = [tuple(other[1:]) for other in ordered[: index + 1]]
+        total += width * _hv_recursive(slab, reference[1:])
+    return total
+
+
+def hypervolume(
+    evaluated: Sequence[EvaluatedConfig],
+    reference: Sequence[float],
+    keys: Sequence[Callable[[EvaluatedConfig], float]] = _DEFAULT_KEYS,
+) -> float:
+    """Dominated hypervolume of ``evaluated`` against a reference point.
+
+    All objectives are minimised (the default keys are latency, energy and
+    negated accuracy); ``reference`` is a point in the same key space that
+    every interesting candidate should dominate — typically slightly worse
+    than the worst observed values.  Candidates that fail to dominate the
+    reference in some objective contribute nothing and are dropped.  The
+    result grows monotonically as a search discovers better fronts, which is
+    what the warm-start convergence benchmark measures.
+    """
+    reference = tuple(float(value) for value in reference)
+    if len(reference) != len(keys):
+        raise SearchError(
+            f"reference point has {len(reference)} coordinates for {len(keys)} objectives"
+        )
+    points = set()
+    for item in evaluated:
+        values = tuple(float(key(item)) for key in keys)
+        if all(value < bound for value, bound in zip(values, reference)):
+            points.add(values)
+    return _hv_recursive(sorted(points), reference)
 
 
 def _filter_by_accuracy_drop(

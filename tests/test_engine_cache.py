@@ -228,6 +228,44 @@ class TestPersistence:
         cache = EvaluationCache(path=tmp_path / "nonexistent.jsonl")
         assert len(cache) == 0
 
+    def test_truncated_trailing_line_is_recovered_and_logged(
+        self, evaluated_pair, tmp_path, caplog
+    ):
+        """A mid-write crash leaves a half line; the rest must load, loudly."""
+        path = tmp_path / "cache.jsonl"
+        writer = EvaluationCache(path=path)
+        for digest, value in evaluated_pair:
+            writer.store(digest, value)
+        full = path.read_text()
+        lines = full.splitlines(keepends=True)
+        # Chop the last line in half, no trailing newline — exactly what a
+        # SIGKILL during _append's write leaves behind.
+        path.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.engine.cache"):
+            reader = EvaluationCache(path=path)
+        (first_digest, _), _ = evaluated_pair
+        assert reader.stats.loaded == 1
+        assert reader.peek(first_digest) is not None
+        assert any(
+            "recovered 1 entries" in record.message and "skipped 1" in record.message
+            for record in caplog.records
+        )
+
+    def test_clean_load_does_not_warn(self, evaluated_pair, tmp_path, caplog):
+        path = tmp_path / "cache.jsonl"
+        writer = EvaluationCache(path=path)
+        for digest, value in evaluated_pair:
+            writer.store(digest, value)
+
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.engine.cache"):
+            EvaluationCache(path=path)
+        assert not caplog.records
+
 
 class TestFrameworkSharedCache:
     def test_repeat_search_on_one_framework_hits_shared_cache(self, tiny_network, platform):

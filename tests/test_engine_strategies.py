@@ -204,6 +204,102 @@ class TestFrameworkStrategyWiring:
         assert result.num_evaluations > 0
 
 
+class TestInitialPopulation:
+    """Warm-start seeding through every strategy (campaign transfer path)."""
+
+    @pytest.fixture()
+    def seeds(self, tiny_space):
+        return [tiny_space.sample(i) for i in range(3)]
+
+    @pytest.mark.parametrize(
+        "strategy_cls", [EvolutionaryStrategy, RandomStrategy, NSGA2Strategy]
+    )
+    def test_seeds_lead_the_first_generation(self, tiny_space, seeds, strategy_cls):
+        strategy = strategy_cls(
+            space=tiny_space,
+            population_size=6,
+            generations=2,
+            seed=0,
+            initial_population=seeds,
+        )
+        first = strategy.ask()
+        assert len(first) == 6
+        assert first[: len(seeds)] == seeds
+
+    @staticmethod
+    def _same_config(first, second) -> bool:
+        return (
+            first.unit_names == second.unit_names
+            and first.dvfs_indices == second.dvfs_indices
+            and np.array_equal(first.partition.values, second.partition.values)
+            and np.array_equal(first.indicator.values, second.indicator.values)
+        )
+
+    @pytest.mark.parametrize(
+        "strategy_cls", [EvolutionaryStrategy, RandomStrategy, NSGA2Strategy]
+    )
+    def test_none_keeps_cold_start_bit_for_bit(self, tiny_space, strategy_cls):
+        cold = strategy_cls(space=tiny_space, population_size=6, generations=1, seed=5)
+        explicit = strategy_cls(
+            space=tiny_space,
+            population_size=6,
+            generations=1,
+            seed=5,
+            initial_population=None,
+        )
+        cold_population = cold.ask()
+        explicit_population = explicit.ask()
+        assert len(cold_population) == len(explicit_population) == 6
+        for ours, theirs in zip(cold_population, explicit_population):
+            assert self._same_config(ours, theirs)
+
+    def test_full_seed_population_samples_nothing(self, tiny_space):
+        seeds = [tiny_space.sample(i) for i in range(4)]
+        strategy = RandomStrategy(
+            space=tiny_space,
+            population_size=4,
+            generations=1,
+            seed=0,
+            initial_population=seeds,
+        )
+        assert strategy.ask() == seeds
+
+    def test_too_many_seeds_rejected(self, tiny_space, seeds):
+        with pytest.raises(SearchError, match="initial_population"):
+            EvolutionaryStrategy(
+                space=tiny_space,
+                population_size=2,
+                generations=1,
+                initial_population=seeds,
+            )
+
+    def test_non_config_seeds_rejected(self, tiny_space):
+        with pytest.raises(SearchError, match="MappingConfig"):
+            RandomStrategy(
+                space=tiny_space,
+                population_size=4,
+                generations=1,
+                initial_population=["not a config"],
+            )
+
+    def test_facade_threads_seeds_and_guards_instances(self, tiny_network, platform):
+        from repro.core.framework import MapAndConquer
+
+        framework = MapAndConquer(tiny_network, platform, seed=0)
+        seeds = [framework.space.sample(i) for i in range(2)]
+        result = framework.search(
+            generations=2, population_size=6, seed=0, initial_population=seeds
+        )
+        digests = {
+            framework.evaluator.content_digest(item.config) for item in result.history
+        }
+        for seed_config in seeds:
+            assert framework.evaluator.content_digest(seed_config) in digests
+        strategy = RandomStrategy(space=framework.space, population_size=6, generations=1)
+        with pytest.raises(ConfigurationError, match="initial_population"):
+            framework.search(strategy=strategy, initial_population=seeds)
+
+
 class TestSeedRegression:
     """Pin the default search trajectory to the seed repository's numbers.
 

@@ -1,0 +1,153 @@
+"""Property tests for cross-platform config translation (hypothesis).
+
+Round-tripping a mapping A -> B -> A cannot restore information that B's
+vocabulary cannot hold (a platform without accelerators erases "this stage
+ran on a DLA"), so the properties are stated exactly at the strength that
+*is* guaranteed, for every ordered preset pair in the registry:
+
+* structure always survives: stage count, distinct units, valid DVFS
+  indices, and the platform-agnostic partition/indicator matrices;
+* kinds survive translation: for every architectural kind, at least as many
+  stages regain it on the round trip as kept it on the way out;
+* DVFS rebinds by nearest scale: whenever the source operating point lies
+  within the intermediate unit's ladder range, the round-tripped scaling
+  factor stays within one ladder step of the original, where a "step" is
+  the widest gap of the coarser ladder involved (each nearest-scale hop
+  quantises with at most half that error);
+* the round trip is idempotent: applying A -> B -> A a second time is a
+  fixed point, so repeated transfers cannot drift.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import translate_config
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import AttentionLayer, Conv2dLayer, FeedForwardLayer, LinearLayer
+from repro.search.space import SearchSpace
+from repro.soc.presets import platform_registry
+
+#: Built once: hypothesis re-runs the test body hundreds of times.
+_PLATFORMS = {name: factory() for name, factory in platform_registry().items()}
+
+_PAIRS = sorted(
+    (a, b) for a in _PLATFORMS for b in _PLATFORMS if a != b
+)
+
+
+def _tiny_network() -> NetworkGraph:
+    layers = (
+        Conv2dLayer(
+            name="conv1",
+            width=16,
+            in_width=3,
+            kernel_size=3,
+            stride=1,
+            in_spatial=(8, 8),
+            out_spatial=(8, 8),
+        ),
+        AttentionLayer(name="attn", width=32, in_width=16, tokens=16, num_heads=4),
+        FeedForwardLayer(name="mlp", width=32, in_width=32, tokens=16, expansion=2.0),
+        LinearLayer(name="head", width=10, in_width=32, tokens=1),
+    )
+    return NetworkGraph(
+        name="tiny-roundtrip",
+        layers=layers,
+        input_shape=(3, 8, 8),
+        num_classes=10,
+        base_accuracy=0.9,
+        family="vit",
+    )
+
+
+_NETWORK = _tiny_network()
+_SPACES = {}
+
+
+def _space_for(source_name: str, target_name: str) -> SearchSpace:
+    """Search space on the source, sized so the mapping transfers both ways."""
+    source = _PLATFORMS[source_name]
+    target = _PLATFORMS[target_name]
+    stages = min(source.num_units, target.num_units)
+    key = (source_name, stages)
+    if key not in _SPACES:
+        _SPACES[key] = SearchSpace(network=_NETWORK, platform=source, num_stages=stages)
+    return _SPACES[key]
+
+
+@settings(max_examples=200, deadline=None)
+@given(pair=st.sampled_from(_PAIRS), sample_seed=st.integers(0, 2**32 - 1))
+def test_roundtrip_properties(pair, sample_seed):
+    source_name, target_name = pair
+    source, target = _PLATFORMS[source_name], _PLATFORMS[target_name]
+    config = _space_for(source_name, target_name).sample(sample_seed)
+
+    outbound = translate_config(config, source, target)
+    roundtrip = translate_config(outbound, target, source)
+
+    # -- structure ----------------------------------------------------------
+    for translated, platform in ((outbound, target), (roundtrip, source)):
+        assert translated.num_stages == config.num_stages
+        assert len(set(translated.unit_names)) == len(translated.unit_names)
+        assert set(translated.unit_names) <= set(platform.unit_names)
+        for name, index in zip(translated.unit_names, translated.dvfs_indices):
+            assert 0 <= index < platform.unit(name).num_dvfs_points()
+        # P and I describe the network, not the board: they never change.
+        assert translated.partition is config.partition
+        assert translated.indicator is config.indicator
+
+    # -- kinds survive translation (counted per kind) -----------------------
+    survived = Counter(
+        source.unit(original).kind
+        for original, via in zip(config.unit_names, outbound.unit_names)
+        if target.unit(via).kind == source.unit(original).kind
+    )
+    regained = Counter(source.unit(name).kind for name in roundtrip.unit_names)
+    for kind, count in survived.items():
+        assert regained[kind] >= count, (
+            f"{count} stages kept kind {kind} via {target_name} but only "
+            f"{regained[kind]} regained it on {source_name}"
+        )
+
+    # -- DVFS rebinds by nearest scale, within one ladder step --------------
+    def max_gap(scales):
+        return max(
+            (b - a for a, b in zip(scales, scales[1:])), default=0.0
+        )
+
+    for stage in range(config.num_stages):
+        source_unit = source.unit(config.unit_names[stage])
+        via_unit = target.unit(outbound.unit_names[stage])
+        back_unit = source.unit(roundtrip.unit_names[stage])
+        original_scale = source_unit.dvfs.scale(config.dvfs_indices[stage])
+        via_scale = via_unit.dvfs.scale(outbound.dvfs_indices[stage])
+        back_scale = back_unit.dvfs.scale(roundtrip.dvfs_indices[stage])
+        # Each hop snaps to the nearest point of the next ladder.
+        assert outbound.dvfs_indices[stage] == via_unit.dvfs.nearest_index(original_scale)
+        assert roundtrip.dvfs_indices[stage] == back_unit.dvfs.nearest_index(via_scale)
+        if original_scale < via_unit.dvfs.scales()[0]:
+            # Below the intermediate ladder: clamped to its slowest point,
+            # the original operating speed is genuinely unrepresentable.
+            continue
+        step = max(max_gap(via_unit.dvfs.scales()), max_gap(back_unit.dvfs.scales()))
+        assert abs(back_scale - original_scale) <= step + 1e-12
+
+    # -- idempotence --------------------------------------------------------
+    second = translate_config(
+        translate_config(roundtrip, source, target), target, source
+    )
+    assert second == roundtrip
+
+
+@pytest.mark.parametrize("name", sorted(_PLATFORMS))
+def test_self_translation_is_identity(name):
+    """A -> A must be a no-op for any sampled config."""
+    platform = _PLATFORMS[name]
+    space = SearchSpace(network=_NETWORK, platform=platform)
+    config = space.sample(0)
+    assert translate_config(config, platform, platform) == config
