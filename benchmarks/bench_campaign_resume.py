@@ -107,7 +107,7 @@ def test_kill_and_resume_byte_identity(tmp_path, save_table):
         # disk — i.e. mid-campaign, between cells.
         deadline = time.monotonic() + 300.0
         while time.monotonic() < deadline:
-            if checkpoint_file.exists() and checkpoint_file.read_text().count("\n") >= 1:
+            if checkpoint_file.exists() and checkpoint_file.read_text(encoding="utf-8").count("\n") >= 1:
                 break
             if child.poll() is not None:
                 break
@@ -119,7 +119,7 @@ def test_kill_and_resume_byte_identity(tmp_path, save_table):
             child.send_signal(signal.SIGKILL)
         child.wait()
 
-    finished_cells = checkpoint_file.read_text().count("\n")
+    finished_cells = checkpoint_file.read_text(encoding="utf-8").count("\n")
     assert finished_cells >= 1
     # The kill must have interrupted the grid for the resume to mean much;
     # tiny race losses (child finishing everything) would void the test.

@@ -1,0 +1,89 @@
+"""Serving campaigns: isolated-energy winners are not traffic winners.
+
+The headline claim of the serving-campaign layer: ranking platforms by the
+isolated per-sample energy of their searched mappings (the paper's view)
+picks a *different* board than ranking by served-p99-per-joule under real
+traffic families.  The bench constructs the regime deliberately:
+
+* a ``derive()``-throttled Xavier (35 % throughput at 8 % power — the
+  ROADMAP's power-axis scaling study) is by far the **isolated-energy
+  best**: every inference costs a fraction of the stock boards';
+* under **bursty families** its queues saturate — bursts arrive faster than
+  even its latency-oriented Pareto point can drain — so its p99 explodes
+  and its served-p99-per-joule collapses below the boards it beat on energy.
+
+Asserted: the isolated-energy best platform is the throttled variant, it is
+*not* the served-p99-per-joule winner under the bursty family, and the
+mechanism is saturation (its p99 under bursts exceeds the traffic winner's
+by a wide margin).
+
+``REPRO_SERVING_CAMPAIGN_SMOKE=1`` shrinks budgets for the CI smoke step
+without changing any assertion.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_serving_campaign.py -q
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.campaign import run_serving_campaign
+from repro.core.report import traffic_ranking_summary
+from repro.nn.models import visformer
+from repro.serving.families import OnOffBurstFamily, SteadyPoissonFamily
+from repro.soc.presets import derive, get_platform
+
+SMOKE = os.environ.get("REPRO_SERVING_CAMPAIGN_SMOKE", "") == "1"
+
+GENERATIONS = 3 if SMOKE else 5
+POPULATION = 8 if SMOKE else 12
+MEMBERS = 2 if SMOKE else 3
+DURATION_MS = 3000.0 if SMOKE else 6000.0
+SEED = 0
+
+STEADY = SteadyPoissonFamily(rate_rps=15.0, jitter=0.2)
+BURSTY = OnOffBurstFamily(
+    burst_rps=150.0, idle_rps=10.0, burst_ms=400.0, idle_ms=600.0, jitter=0.2
+)
+
+
+def test_energy_best_platform_loses_under_bursts(save_table):
+    throttled = derive(
+        get_platform("jetson-agx-xavier"),
+        "xavier-throttled",
+        gflops_scale=0.35,
+        power_scale=0.08,
+    )
+    serving = run_serving_campaign(
+        visformer(),
+        ("jetson-agx-xavier", throttled, "jetson-agx-orin"),
+        families=(STEADY, BURSTY),
+        members_per_family=MEMBERS,
+        duration_ms=DURATION_MS,
+        generations=GENERATIONS,
+        population_size=POPULATION,
+        seed=SEED,
+    )
+    summary = traffic_ranking_summary(serving)
+    print(summary)
+    save_table("serving_campaign", summary)
+
+    energy_best = serving.isolated_energy_best()
+    assert energy_best == "xavier-throttled", (
+        "the throttled derive() variant should win on isolated energy:\n" + summary
+    )
+
+    traffic_best = serving.best_platform(BURSTY.name)
+    assert traffic_best != energy_best, (
+        "the isolated-energy best platform must not also win "
+        "served-p99-per-joule under the bursty family:\n" + summary
+    )
+
+    # The mechanism is saturation: under bursts the frugal board's tail
+    # latency blows up far beyond the traffic winner's.
+    energy_best_p99 = serving.cell(energy_best, BURSTY.name).p99_latency_ms
+    winner_p99 = serving.cell(traffic_best, BURSTY.name).p99_latency_ms
+    assert energy_best_p99 > 2.0 * winner_p99, (
+        f"expected the energy-best board to saturate under bursts "
+        f"(p99 {energy_best_p99:.1f} ms vs winner {winner_p99:.1f} ms):\n" + summary
+    )

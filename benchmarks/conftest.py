@@ -81,7 +81,7 @@ def save_table(results_dir):
     """Persist a regenerated table to ``benchmarks/results/<name>.txt``."""
 
     def _save(name: str, text: str) -> None:
-        (results_dir / f"{name}.txt").write_text(text + "\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
     return _save
 

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Which platform should serve this traffic?
+
+The search campaign answers "which mapping is Pareto-optimal on which
+platform?" from isolated per-sample averages.  This example asks the
+deployment question instead: it searches three boards — including a
+``derive()``-throttled Xavier that wins the isolated-energy comparison by a
+mile — then sweeps four workload families (steady Poisson, on/off bursts,
+diurnal, multi-tenant) over every board's Pareto front and ranks the boards
+by **served-p99-per-joule**: requests-per-joule discounted by the p99 tail
+each board actually serves under that traffic.
+
+The punchline is the last section of the summary: the isolated-energy best
+board is *not* the board you should deploy on once bursts saturate its
+queues.
+
+Run with:  python examples/serving_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro import traffic_ranking_summary, visformer
+from repro.campaign import run_serving_campaign
+from repro.serving.families import (
+    DiurnalFamily,
+    MultiTenantMixFamily,
+    OnOffBurstFamily,
+    SteadyPoissonFamily,
+)
+from repro.soc.presets import derive, get_platform
+
+FAMILIES = (
+    SteadyPoissonFamily(rate_rps=15.0, jitter=0.2),
+    OnOffBurstFamily(burst_rps=150.0, idle_rps=10.0, burst_ms=400.0, idle_ms=600.0),
+    DiurnalFamily(peak_rps=60.0, trough_fraction=0.2, period_ms=2000.0),
+    MultiTenantMixFamily(steady_rps=10.0, burst_rps=80.0, burst_ms=400.0, idle_ms=800.0),
+)
+
+
+def main() -> None:
+    throttled = derive(
+        get_platform("jetson-agx-xavier"),
+        "xavier-throttled",
+        gflops_scale=0.35,
+        power_scale=0.08,
+    )
+    serving = run_serving_campaign(
+        visformer(),
+        ("jetson-agx-xavier", throttled, "jetson-agx-orin"),
+        families=FAMILIES,
+        members_per_family=3,
+        duration_ms=5000.0,
+        generations=8,
+        population_size=16,
+        seed=0,
+    )
+    print(traffic_ranking_summary(serving))
+
+    energy_best = serving.isolated_energy_best()
+    print()
+    for family in serving.family_names:
+        winner = serving.best_platform(family)
+        verdict = "agrees with" if winner == energy_best else "OVERTURNS"
+        print(f"{family}: traffic {verdict} the isolated-energy choice ({winner})")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,11 @@ package provides:
 * cross-platform campaigns: one search fanned over a platform x scenario
   grid, per-platform Pareto fronts and a portability matrix quantifying how
   platform-specific the searched mappings are (:mod:`repro.campaign`),
+* serving campaigns: parameterised workload families (steady, bursty,
+  diurnal, multi-tenant) swept over every platform's front, ranking the
+  boards by served-p99-per-joule under real traffic instead of isolated
+  objectives (:mod:`repro.serving.families`,
+  :mod:`repro.campaign.serving_runner`),
 * the high-level :class:`~repro.core.framework.MapAndConquer` facade and
   report helpers (:mod:`repro.core`).
 
@@ -35,9 +40,21 @@ Quickstart::
     print(result.best.summary_row())
 """
 
-from .campaign import CampaignResult, CampaignScenario, run_campaign
+from .campaign import (
+    CampaignResult,
+    CampaignScenario,
+    ServingCampaignResult,
+    run_campaign,
+    run_serving_campaign,
+)
 from .core.framework import MapAndConquer
-from .core.report import campaign_summary, campaign_table, format_table
+from .core.report import (
+    campaign_summary,
+    campaign_table,
+    format_table,
+    serving_campaign_table,
+    traffic_ranking_summary,
+)
 from .engine import (
     EvaluationCache,
     EvolutionaryStrategy,
@@ -58,12 +75,15 @@ from .serving import (
     PoissonArrivals,
     StaticPolicy,
     TrafficSimulator,
+    default_families,
+    family_names,
+    get_family,
     rank_under_traffic,
 )
 from .soc.platform import Platform, jetson_agx_xavier
 from .soc.presets import derive, get_platform, platform_names, platform_registry
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "MapAndConquer",
@@ -82,6 +102,13 @@ __all__ = [
     "run_campaign",
     "campaign_table",
     "campaign_summary",
+    "ServingCampaignResult",
+    "run_serving_campaign",
+    "serving_campaign_table",
+    "traffic_ranking_summary",
+    "family_names",
+    "get_family",
+    "default_families",
     "visformer",
     "vgg19",
     "resnet20",

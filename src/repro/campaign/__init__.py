@@ -14,11 +14,16 @@ mappings are:
   seed/fingerprint safety so interrupted grids restart where they stopped,
 * :mod:`repro.campaign.portability` -- translating a mapping searched on
   one platform into another platform's unit/DVFS vocabulary and scoring the
-  transfer (or seeding a warm start with it).
+  transfer (or seeding a warm start with it),
+* :mod:`repro.campaign.serving_runner` -- :func:`run_serving_campaign`, the
+  serving layer on top: every front deployed under every member of every
+  workload family (:mod:`repro.serving.families`) and the platforms ranked
+  by served-p99-per-joule — "which platform should serve this traffic?".
 
 Surfaced on the facade as :meth:`repro.core.framework.MapAndConquer.campaign`
-and rendered by :func:`repro.core.report.campaign_table` /
-:func:`repro.core.report.campaign_summary`.
+/ :meth:`~repro.core.framework.MapAndConquer.serving_campaign` and rendered
+by :func:`repro.core.report.campaign_summary` /
+:func:`repro.core.report.traffic_ranking_summary`.
 """
 
 from .checkpoint import CampaignCheckpoint, CellExpectation, campaign_fingerprint
@@ -29,6 +34,12 @@ from .runner import (
     CampaignScenario,
     PortabilityEntry,
     run_campaign,
+)
+from .serving_runner import (
+    MemberOutcome,
+    ServingCampaignResult,
+    ServingCellResult,
+    run_serving_campaign,
 )
 
 __all__ = [
@@ -43,4 +54,8 @@ __all__ = [
     "CampaignCheckpoint",
     "CellExpectation",
     "campaign_fingerprint",
+    "MemberOutcome",
+    "ServingCellResult",
+    "ServingCampaignResult",
+    "run_serving_campaign",
 ]

@@ -9,17 +9,37 @@ the originals, so a resumed campaign renders a
 :func:`repro.core.report.campaign_summary` byte-identical to an
 uninterrupted run.
 
+The file holds two record *kinds* side by side (older files, written before
+the field existed, are read as ``search``):
+
+* ``search`` — one ``(platform, scenario)`` search cell carrying a
+  :class:`~repro.search.evolutionary.SearchResult`
+  (:meth:`CampaignCheckpoint.store` / :meth:`CampaignCheckpoint.load`);
+* ``serving`` — one ``(platform, family)`` serving cell of a
+  :func:`repro.campaign.serving_runner.run_serving_campaign`, carrying a
+  :class:`~repro.campaign.serving_runner.ServingCellResult`
+  (:meth:`CampaignCheckpoint.store_serving` /
+  :meth:`CampaignCheckpoint.load_serving`).
+
 Safety model
 ------------
 Every line carries the campaign ``seed`` and a per-cell *fingerprint* of
-everything else that shapes that cell's search (network and platform
+everything else that shapes that cell's result (network and platform
 contents — not just their names — stage count, strategy, resolved budget,
-scenario constraints, evaluator settings, warm-start mode).  On load:
+scenario constraints, evaluator settings, warm-start mode; for serving
+cells: the family definition, the replay budget and the Pareto front it
+deploys).  On load:
 
-* a **seed or fingerprint mismatch raises**
-  :class:`~repro.errors.ConfigurationError` — silently mixing results from a
-  different seed or budget would poison the whole grid;
-* a cell for a **platform/scenario no longer in the grid** is ignored
+* a **seed mismatch raises** :class:`~repro.errors.ConfigurationError` —
+  silently mixing results from a different seed would poison the whole grid;
+* a **search-cell fingerprint mismatch raises** too — the search budget or
+  evaluator settings changed, and re-using any part of the old grid would
+  mix incompatible searches;
+* a **serving-cell fingerprint mismatch is dropped and re-run** instead: a
+  family definition is *expected* to be tweaked between runs, and the right
+  response to a stale family (or a front re-searched under new settings) is
+  recomputing exactly the affected cells, never refusing the whole resume;
+* a cell for a **platform/scenario/family no longer in the grid** is ignored
   (stale), and cells *added* to the grid simply are not in the file, so a
   grown grid re-runs exactly the new cells;
 * a cell whose **warm-start donor chain changed** (platforms inserted before
@@ -58,8 +78,11 @@ logger = logging.getLogger(__name__)
 #: Format marker written into every persisted line; bump on layout changes.
 _CHECKPOINT_VERSION = 1
 
-#: A cell's identity within one campaign grid.
+#: A search cell's identity within one campaign grid: (platform, scenario).
 CellKey = Tuple[str, str]
+
+#: A serving cell's identity within one serving campaign: (platform, family).
+ServingCellKey = Tuple[str, str]
 
 
 def campaign_fingerprint(**fields: object) -> str:
@@ -86,12 +109,15 @@ class CellExpectation:
 
 @dataclass
 class CheckpointStats:
-    """What one :meth:`CampaignCheckpoint.load` pass found."""
+    """What one :meth:`CampaignCheckpoint.load` / ``load_serving`` pass found."""
 
     restored: int = 0
     stale: int = 0
     donor_mismatch: int = 0
     malformed: int = 0
+    #: Serving cells dropped because their fingerprint (family definition,
+    #: replay budget or deployed front) no longer matches — re-run, not fatal.
+    refreshed: int = 0
 
 
 class CampaignCheckpoint:
@@ -127,57 +153,35 @@ class CampaignCheckpoint:
         """
         restored: Dict[CellKey, SearchResult] = {}
         self.stats = CheckpointStats()
-        if not self.path.exists():
-            return restored
-        with self.path.open("r", encoding="utf-8") as stream:
-            for line in stream:
-                stripped = line.strip()
-                if not stripped:
-                    continue
-                try:
-                    record = json.loads(stripped)
-                    if record.get("version") != _CHECKPOINT_VERSION:
-                        self.stats.malformed += 1
-                        continue
-                    seed = int(record["seed"])
-                    fingerprint = str(record["fingerprint"])
-                    key = (str(record["platform"]), str(record["scenario"]))
-                    donors = tuple(str(name) for name in record["donors"])
-                except (KeyError, TypeError, ValueError):
-                    self.stats.malformed += 1
-                    continue
-                if seed != self.seed:
-                    raise ConfigurationError(
-                        f"checkpoint {self.path} holds cell {key} written under seed "
-                        f"{seed}, but this campaign runs under seed {self.seed}; "
-                        f"refusing to mix seeds — use a fresh checkpoint_dir or "
-                        f"re-run with the original seed"
-                    )
-                expectation = expected.get(key)
-                if expectation is None:
-                    self.stats.stale += 1
-                    continue
-                if fingerprint != expectation.fingerprint:
-                    raise ConfigurationError(
-                        f"checkpoint {self.path} holds cell {key} written under a "
-                        f"different campaign configuration (fingerprint {fingerprint} "
-                        f"vs {expectation.fingerprint}): the search budget, scenario "
-                        f"constraints, stage count or evaluator settings changed; "
-                        f"use a fresh checkpoint_dir"
-                    )
-                if donors != expectation.donors:
-                    self.stats.donor_mismatch += 1
-                    continue
-                try:
-                    result = pickle.loads(base64.b64decode(record["payload"]))
-                    if not isinstance(result, SearchResult):
-                        self.stats.malformed += 1
-                        continue
-                except Exception:  # noqa: BLE001 - truncated payloads are survivable
-                    self.stats.malformed += 1
-                    continue
+        mismatched = set()
+        for record, fingerprint, key in self._iter_records("search"):
+            expectation = expected.get(key)
+            if expectation is None:
+                self.stats.stale += 1
+                continue
+            if fingerprint != expectation.fingerprint:
+                raise ConfigurationError(
+                    f"checkpoint {self.path} holds cell {key} written under a "
+                    f"different campaign configuration (fingerprint {fingerprint} "
+                    f"vs {expectation.fingerprint}): the search budget, scenario "
+                    f"constraints, stage count or evaluator settings changed; "
+                    f"use a fresh checkpoint_dir"
+                )
+            try:
+                donors = tuple(str(name) for name in record["donors"])
+            except (KeyError, TypeError):
+                self.stats.malformed += 1
+                continue
+            if donors != expectation.donors:
+                mismatched.add(key)
+                continue
+            result = self._decode_payload(record, SearchResult)
+            if result is not None:
                 restored[key] = result
         self.stats.restored = len(restored)
+        # A mismatched line may be superseded by a later line for the same
+        # cell (the file is append-only); only cells left unrestored re-run.
+        self.stats.donor_mismatch = len(mismatched - set(restored))
         if self.stats.malformed:
             logger.warning(
                 "campaign checkpoint %s: restored %d cells, skipped %d malformed "
@@ -195,6 +199,107 @@ class CampaignCheckpoint:
             )
         return restored
 
+    def load_serving(
+        self, expected: Mapping[ServingCellKey, CellExpectation]
+    ) -> Dict[ServingCellKey, object]:
+        """Restore every completed serving cell of the current sweep.
+
+        ``expected`` maps each ``(platform, family)`` key of the *current*
+        sweep to its fingerprint (family definition, replay budget, deployed
+        front).  A fingerprint mismatch drops the cell for re-running — a
+        stale family definition must never serve stale records — and is
+        counted in :attr:`CheckpointStats.refreshed`; unknown keys are
+        stale; a wrong seed raises, exactly as for search cells.
+        """
+        from .serving_runner import ServingCellResult  # local: runner imports us
+
+        restored: Dict[ServingCellKey, object] = {}
+        self.stats = CheckpointStats()
+        mismatched = set()
+        for record, fingerprint, key in self._iter_records("serving"):
+            expectation = expected.get(key)
+            if expectation is None:
+                self.stats.stale += 1
+                continue
+            if fingerprint != expectation.fingerprint:
+                mismatched.add(key)
+                continue
+            result = self._decode_payload(record, ServingCellResult)
+            if result is not None:
+                restored[key] = result
+        self.stats.restored = len(restored)
+        # A stale line may be superseded by a later line written under the
+        # current fingerprint; only cells left unrestored actually re-run.
+        self.stats.refreshed = len(mismatched - set(restored))
+        if self.stats.malformed:
+            logger.warning(
+                "campaign checkpoint %s: restored %d serving cells, skipped %d "
+                "malformed lines (expected after an interrupted write)",
+                self.path,
+                self.stats.restored,
+                self.stats.malformed,
+            )
+        if self.stats.refreshed:
+            logger.info(
+                "campaign checkpoint %s: re-running %d serving cells whose family "
+                "definition, replay budget or deployed front changed",
+                self.path,
+                self.stats.refreshed,
+            )
+        return restored
+
+    def _iter_records(self, kind: str):
+        """Well-formed records of ``kind``: yields (record, fingerprint, key).
+
+        Shared parsing/safety layer of both loaders: blank and malformed
+        lines are skipped (and counted), records of other kinds are ignored,
+        and a foreign seed raises before any payload is touched.
+        """
+        key_field = "scenario" if kind == "search" else "family"
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as stream:
+            for line in stream:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                    if record.get("version") != _CHECKPOINT_VERSION:
+                        self.stats.malformed += 1
+                        continue
+                    if record.get("kind", "search") != kind:
+                        continue
+                    seed = int(record["seed"])
+                    fingerprint = str(record["fingerprint"])
+                    key = (str(record["platform"]), str(record[key_field]))
+                except (KeyError, TypeError, ValueError):
+                    self.stats.malformed += 1
+                    continue
+                self._check_seed(seed, key)
+                yield record, fingerprint, key
+
+    def _decode_payload(self, record: dict, expected_type: type):
+        """The record's unpickled payload, or ``None`` (counted) if broken."""
+        try:
+            result = pickle.loads(base64.b64decode(record["payload"]))
+        except Exception:  # noqa: BLE001 - truncated payloads are survivable
+            self.stats.malformed += 1
+            return None
+        if not isinstance(result, expected_type):
+            self.stats.malformed += 1
+            return None
+        return result
+
+    def _check_seed(self, seed: int, key: Tuple[str, str]) -> None:
+        if seed != self.seed:
+            raise ConfigurationError(
+                f"checkpoint {self.path} holds cell {key} written under seed "
+                f"{seed}, but this campaign runs under seed {self.seed}; "
+                f"refusing to mix seeds — use a fresh checkpoint_dir or "
+                f"re-run with the original seed"
+            )
+
     # -- persist -----------------------------------------------------------------
     def store(
         self,
@@ -202,25 +307,57 @@ class CampaignCheckpoint:
         expectation: CellExpectation,
         result: SearchResult,
     ) -> None:
-        """Append one finished cell; flushed immediately so a later crash
-        costs at most the line being written."""
+        """Append one finished search cell; flushed immediately so a later
+        crash costs at most the line being written."""
         platform_name, scenario_name = key
-        record = {
-            "version": _CHECKPOINT_VERSION,
-            "seed": self.seed,
-            "fingerprint": expectation.fingerprint,
-            "platform": platform_name,
-            "scenario": scenario_name,
-            "donors": list(expectation.donors),
-            "metrics": {
-                "evaluations": result.num_evaluations,
-                "front": len(result.pareto),
-                "best_latency_ms": result.best.latency_ms,
-                "best_energy_mj": result.best.energy_mj,
-            },
-            "payload": base64.b64encode(pickle.dumps(result)).decode("ascii"),
-        }
+        self._append(
+            {
+                "version": _CHECKPOINT_VERSION,
+                "kind": "search",
+                "seed": self.seed,
+                "fingerprint": expectation.fingerprint,
+                "platform": platform_name,
+                "scenario": scenario_name,
+                "donors": list(expectation.donors),
+                "metrics": {
+                    "evaluations": result.num_evaluations,
+                    "front": len(result.pareto),
+                    "best_latency_ms": result.best.latency_ms,
+                    "best_energy_mj": result.best.energy_mj,
+                },
+                "payload": base64.b64encode(pickle.dumps(result)).decode("ascii"),
+            }
+        )
+
+    def store_serving(
+        self,
+        key: ServingCellKey,
+        expectation: CellExpectation,
+        result,
+    ) -> None:
+        """Append one finished serving cell (same discipline as :meth:`store`)."""
+        platform_name, family_name = key
+        self._append(
+            {
+                "version": _CHECKPOINT_VERSION,
+                "kind": "serving",
+                "seed": self.seed,
+                "fingerprint": expectation.fingerprint,
+                "platform": platform_name,
+                "family": family_name,
+                "metrics": {
+                    "members": len(result.members),
+                    "p99_latency_ms": result.p99_latency_ms,
+                    "served_p99_per_joule": result.served_p99_per_joule,
+                },
+                "payload": base64.b64encode(pickle.dumps(result)).decode("ascii"),
+            }
+        )
+
+    def _append(self, record: dict) -> None:
+        # ensure_ascii=False keeps non-ASCII platform/family names readable in
+        # the file; the explicit utf-8 handle makes that safe on any locale.
         self.directory.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as stream:
-            stream.write(json.dumps(record) + "\n")
+            stream.write(json.dumps(record, ensure_ascii=False) + "\n")
             stream.flush()

@@ -172,7 +172,9 @@ class CampaignResult:
     cells: Tuple[CampaignCell, ...]
     portability: Tuple[PortabilityEntry, ...]
     seed: int
-    _index: Dict[Tuple[str, str], CampaignCell] = field(repr=False, compare=False, default=None)
+    _index: Optional[Dict[Tuple[str, str], CampaignCell]] = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(

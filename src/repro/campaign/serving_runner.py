@@ -1,0 +1,503 @@
+"""Serving campaigns: rank platforms by how they serve traffic families.
+
+:func:`repro.campaign.runner.run_campaign` answers "which mapping is
+Pareto-optimal on which platform?" from isolated per-sample averages, and
+its optional traffic re-rank replays at most *one* shared scenario.  This
+module asks the deployment question instead: **which platform should serve
+this traffic?**  :func:`run_serving_campaign`
+
+1. searches every platform exactly like ``run_campaign`` (one scenario,
+   shared cache, checkpointing, cell parallelism, warm starts all apply),
+2. expands every :class:`~repro.serving.families.WorkloadFamily` into ``n``
+   seeded member scenarios (:meth:`~repro.serving.families.WorkloadFamily.expand`),
+3. deploys each platform's Pareto front under every member via
+   :func:`repro.serving.bridge.rank_under_traffic` (the front member best on
+   the ranking metric wins that member), and
+4. aggregates each ``(platform, family)`` cell into a
+   :class:`ServingCellResult` — p50/p95/p99 under load, deadline-miss rate,
+   joules per request and the headline **served-p99-per-joule** score —
+   forming a traffic-portability matrix over platforms x families.
+
+served-p99-per-joule
+--------------------
+Per family member, the winning deployment serves
+``1000 / energy_per_request_mj`` requests per joule at a tail latency of
+``p99_latency_ms``; its score is requests-per-joule *discounted by that
+tail*::
+
+    score = (1000 / energy_per_request_mj) / p99_latency_ms
+
+A platform only scores highly when it is simultaneously energy-frugal and
+tail-tight under contention — an energy-optimal board whose queues blow up
+under bursts loses exactly where it should.  The cell score is the geometric
+mean over the family's members (scores are ratio-scaled, so the geometric
+mean keeps one pathological member from drowning the rest linearly).
+
+Like the search campaign, everything is seed-deterministic: member
+parameters and traffic seeds derive from ``(seed, family name, index)``
+only, so serial, cell-parallel and checkpoint-resumed sweeps render a
+byte-identical :func:`repro.core.report.traffic_ranking_summary`.
+"""
+
+from __future__ import annotations
+
+import logging
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..dynamics.accuracy import AccuracyModel
+from ..dynamics.samples import DEFAULT_VALIDATION_SAMPLES
+from ..engine.cache import EvaluationCache
+from ..errors import ConfigurationError
+from ..nn.graph import NetworkGraph
+from ..search.evaluation import EvaluatedConfig
+from ..serving.bridge import rank_under_traffic
+from ..serving.families import WorkloadFamily, member_traffic_seed, resolve_families
+from ..serving.metrics import ServingMetrics, metric_direction
+from ..soc.platform import Platform
+from ..utils import check_positive, geometric_mean
+from .checkpoint import (
+    CampaignCheckpoint,
+    CellExpectation,
+    ServingCellKey,
+    campaign_fingerprint,
+)
+from .runner import CampaignResult, CampaignScenario, _resolve_platforms, run_campaign
+
+__all__ = [
+    "MemberOutcome",
+    "ServingCellResult",
+    "ServingCampaignResult",
+    "run_serving_campaign",
+]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class MemberOutcome:
+    """One family member replayed against one platform's front.
+
+    ``winner`` is the deployment (front member) that ranked best on the
+    campaign's serving metric under this member's traffic; ``metrics`` are
+    that winner's aggregates for the replay.
+    """
+
+    label: str
+    traffic_seed: int
+    winner: str
+    metrics: ServingMetrics
+
+    @property
+    def joules_per_request(self) -> float:
+        """Energy per served request, in joules."""
+        return self.metrics.energy_per_request_mj / 1000.0
+
+    @property
+    def served_p99_per_joule(self) -> float:
+        """Requests-per-joule discounted by the p99 tail (see module docs)."""
+        requests_per_joule = 1000.0 / self.metrics.energy_per_request_mj
+        return requests_per_joule / self.metrics.p99_latency_ms
+
+
+@dataclass(frozen=True)
+class ServingCellResult:
+    """How one platform served one workload family (all members aggregated)."""
+
+    platform_name: str
+    family_name: str
+    members: Tuple[MemberOutcome, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ConfigurationError("a serving cell needs at least one member outcome")
+
+    def _mean(self, metric: str) -> float:
+        values = [float(getattr(outcome.metrics, metric)) for outcome in self.members]
+        return sum(values) / len(values)
+
+    @property
+    def p50_latency_ms(self) -> float:
+        """Mean of the member winners' p50 latencies."""
+        return self._mean("p50_latency_ms")
+
+    @property
+    def p95_latency_ms(self) -> float:
+        """Mean of the member winners' p95 latencies."""
+        return self._mean("p95_latency_ms")
+
+    @property
+    def p99_latency_ms(self) -> float:
+        """Mean of the member winners' p99 latencies."""
+        return self._mean("p99_latency_ms")
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Mean of the member winners' deadline-miss rates."""
+        return self._mean("deadline_miss_rate")
+
+    @property
+    def joules_per_request(self) -> float:
+        """Mean energy per served request across members, in joules."""
+        return sum(outcome.joules_per_request for outcome in self.members) / len(
+            self.members
+        )
+
+    @property
+    def served_p99_per_joule(self) -> float:
+        """Geometric mean of the members' served-p99-per-joule scores."""
+        return geometric_mean(
+            [outcome.served_p99_per_joule for outcome in self.members]
+        )
+
+    def summary_row(self) -> dict:
+        """Flat dictionary for :func:`repro.core.report.format_table`."""
+        return {
+            "family": self.family_name,
+            "platform": self.platform_name,
+            "members": len(self.members),
+            "p50_ms": self.p50_latency_ms,
+            "p95_ms": self.p95_latency_ms,
+            "p99_ms": self.p99_latency_ms,
+            "miss_%": 100.0 * self.deadline_miss_rate,
+            "mJ/req": 1000.0 * self.joules_per_request,
+            "served_p99/J": f"{self.served_p99_per_joule:.4f}",
+        }
+
+
+@dataclass(frozen=True)
+class ServingCampaignResult:
+    """Everything one serving campaign produced.
+
+    ``campaign`` is the underlying search campaign (fronts, portability
+    matrix); ``cells`` hold one :class:`ServingCellResult` per
+    ``(platform, family)`` pair in family-major order.
+    """
+
+    campaign: CampaignResult
+    platform_names: Tuple[str, ...]
+    family_names: Tuple[str, ...]
+    cells: Tuple[ServingCellResult, ...]
+    members_per_family: int
+    duration_ms: float
+    metric: str
+    seed: int
+    _index: Optional[Dict[ServingCellKey, ServingCellResult]] = field(
+        init=False, repr=False, compare=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_index",
+            {(cell.platform_name, cell.family_name): cell for cell in self.cells},
+        )
+
+    @property
+    def network_name(self) -> str:
+        """The mapped network's name."""
+        return self.campaign.network_name
+
+    def cell(self, platform: str, family: str) -> ServingCellResult:
+        """The serving outcome of ``platform`` under ``family``."""
+        found = self._index.get((platform, family))
+        if found is None:
+            raise ConfigurationError(
+                f"no serving cell for platform {platform!r} / family {family!r}; "
+                f"have platforms {list(self.platform_names)} and "
+                f"families {list(self.family_names)}"
+            )
+        return found
+
+    def ranking(self, family: str) -> List[ServingCellResult]:
+        """Platform cells for ``family``, best served-p99-per-joule first.
+
+        Ties (vanishingly unlikely with real numbers) break on the platform
+        name so the ordering stays deterministic.
+        """
+        cells = [cell for cell in self.cells if cell.family_name == family]
+        if not cells:
+            raise ConfigurationError(
+                f"no serving cells for family {family!r}; "
+                f"have families {list(self.family_names)}"
+            )
+        return sorted(
+            cells, key=lambda cell: (-cell.served_p99_per_joule, cell.platform_name)
+        )
+
+    def best_platform(self, family: str) -> str:
+        """The platform serving ``family`` at the best served-p99-per-joule."""
+        return self.ranking(family)[0].platform_name
+
+    def traffic_matrix(self) -> Dict[ServingCellKey, float]:
+        """``(platform, family) -> served-p99-per-joule`` for every cell."""
+        return {
+            (cell.platform_name, cell.family_name): cell.served_p99_per_joule
+            for cell in self.cells
+        }
+
+    def isolated_energy_best(self) -> str:
+        """The platform whose searched front holds the lowest-energy mapping.
+
+        This is the winner the *isolated* per-sample view would deploy on;
+        comparing it against :meth:`best_platform` per family is the
+        campaign's headline (the serving winner is frequently a different
+        board once queueing enters the picture).
+        """
+        scenario = self.campaign.scenario_names[0]
+        best_name = None
+        best_energy = float("inf")
+        for platform in self.platform_names:
+            front = self.campaign.front(platform, scenario)
+            energy = min(item.energy_mj for item in front)
+            if energy < best_energy:
+                best_energy = energy
+                best_name = platform
+        return best_name
+
+
+@dataclass(frozen=True)
+class _ServingCellTask:
+    """Picklable description of one serving cell, runnable in any process."""
+
+    platform: Platform
+    family: WorkloadFamily
+    front: Tuple[EvaluatedConfig, ...]
+    members: int
+    duration_ms: float
+    metric: str
+    deadline_ms: Optional[float]
+    seed: int
+
+
+def _run_serving_cell(task: _ServingCellTask) -> ServingCellResult:
+    """Replay one family against one platform's front (worker-safe).
+
+    Member scenarios and traffic seeds derive from the task contents alone,
+    so the same task yields bit-identical outcomes in any process.
+    """
+    outcomes = []
+    processes = task.family.expand(task.seed, task.members)
+    labels = task.family.member_labels(task.members)
+    for index, process in enumerate(processes):
+        traffic_seed = member_traffic_seed(task.seed, task.family.name, index)
+        rankings = rank_under_traffic(
+            list(task.front),
+            task.platform,
+            process,
+            duration_ms=task.duration_ms,
+            metric=task.metric,
+            seed=traffic_seed,
+            deadline_ms=task.deadline_ms,
+        )
+        winner = rankings[0]
+        outcomes.append(
+            MemberOutcome(
+                label=labels[index],
+                traffic_seed=traffic_seed,
+                winner=winner.deployment.name,
+                metrics=winner.metrics,
+            )
+        )
+    return ServingCellResult(
+        platform_name=task.platform.name,
+        family_name=task.family.name,
+        members=tuple(outcomes),
+    )
+
+
+def _front_fingerprint(front: Sequence[EvaluatedConfig]) -> tuple:
+    """Content summary of a Pareto front for the serving-cell fingerprint."""
+    return tuple(
+        (item.config.describe(), item.latency_ms, item.energy_mj, item.accuracy)
+        for item in front
+    )
+
+
+def run_serving_campaign(
+    network: NetworkGraph,
+    platforms: Sequence[Union[str, Platform]],
+    families: Optional[Sequence[Union[str, WorkloadFamily]]] = None,
+    members_per_family: int = 3,
+    duration_ms: float = 1500.0,
+    metric: str = "p99_latency_ms",
+    deadline_ms: Optional[float] = None,
+    scenario: Optional[CampaignScenario] = None,
+    strategy: str = "evolutionary",
+    backend: Optional[str] = None,
+    n_workers: Optional[int] = None,
+    cache: Union[EvaluationCache, str, Path, None] = None,
+    generations: int = 10,
+    population_size: int = 16,
+    num_stages: Optional[int] = None,
+    accuracy_model: Optional[AccuracyModel] = None,
+    reorder_channels: bool = True,
+    validation_samples: int = DEFAULT_VALIDATION_SAMPLES,
+    seed: int = 0,
+    checkpoint_dir: Union[str, Path, None] = None,
+    cell_workers: Optional[int] = None,
+    warm_start: bool = False,
+) -> ServingCampaignResult:
+    """Search every platform, then sweep workload families over the fronts.
+
+    Parameters
+    ----------
+    network, platforms:
+        As in :func:`repro.campaign.runner.run_campaign`.
+    families:
+        Workload families to sweep: registry names (see
+        :func:`repro.serving.families.family_names`) and/or ready
+        :class:`~repro.serving.families.WorkloadFamily` instances; ``None``
+        sweeps :func:`~repro.serving.families.default_families`.
+    members_per_family:
+        How many seeded member scenarios each family expands into.
+    duration_ms:
+        Replay window per member scenario.
+    metric:
+        Serving metric the front is ranked on per member (validated against
+        :func:`repro.serving.metrics.metric_direction` before any work).
+    deadline_ms:
+        Default relative deadline applied during replays (drives the
+        deadline-miss aggregate); families whose processes carry their own
+        deadlines override it per request.
+    scenario:
+        Optional search scenario for the underlying campaign (reuse caps,
+        budget overrides); ``None`` searches unconstrained.
+    strategy, backend, n_workers, cache, generations, population_size,
+    num_stages, accuracy_model, reorder_channels, validation_samples, seed,
+    checkpoint_dir, cell_workers, warm_start:
+        Forwarded to :func:`~repro.campaign.runner.run_campaign` for the
+        search phase.  ``checkpoint_dir`` additionally persists every
+        finished *serving* cell (record kind ``serving``) in the same JSONL
+        file, so an interrupted sweep resumes where it stopped; a serving
+        cell whose family definition, replay budget or deployed front
+        changed is re-run instead of restored.  ``cell_workers`` fans
+        independent serving cells over the same-size process pool used for
+        search cells; results merge deterministically.
+    """
+    platform_objs = _resolve_platforms(platforms)
+    family_objs = resolve_families(families)
+    if int(members_per_family) < 1:
+        raise ConfigurationError(
+            f"members_per_family must be >= 1, got {members_per_family}"
+        )
+    members = int(members_per_family)
+    check_positive(duration_ms, "duration_ms")
+    # Validate the ranking metric before any search work is spent.
+    metric_direction(metric)
+
+    campaign = run_campaign(
+        network,
+        platform_objs,
+        scenarios=None if scenario is None else [scenario],
+        strategy=strategy,
+        backend=backend,
+        n_workers=n_workers,
+        cache=cache,
+        generations=generations,
+        population_size=population_size,
+        num_stages=num_stages,
+        accuracy_model=accuracy_model,
+        reorder_channels=reorder_channels,
+        validation_samples=validation_samples,
+        seed=seed,
+        checkpoint_dir=checkpoint_dir,
+        cell_workers=cell_workers,
+        warm_start=warm_start,
+    )
+    scenario_name = campaign.scenario_names[0]
+    fronts = {
+        platform.name: campaign.front(platform.name, scenario_name)
+        for platform in platform_objs
+    }
+
+    # The serving-cell fingerprint covers everything that shapes the cell:
+    # the platform and family *contents*, the replay budget, and the exact
+    # front being deployed — so a re-searched front or an edited family
+    # refreshes precisely the affected cells.
+    front_fingerprints = {
+        platform.name: _front_fingerprint(fronts[platform.name])
+        for platform in platform_objs
+    }
+    expectations: Dict[ServingCellKey, CellExpectation] = {}
+    for family in family_objs:
+        for platform in platform_objs:
+            fingerprint = campaign_fingerprint(
+                network=network.name,
+                platform=platform,
+                family=family,
+                members=members,
+                duration_ms=float(duration_ms),
+                metric=metric,
+                deadline_ms=deadline_ms,
+                front=front_fingerprints[platform.name],
+            )
+            expectations[(platform.name, family.name)] = CellExpectation(
+                fingerprint=fingerprint
+            )
+
+    checkpoint: Optional[CampaignCheckpoint] = None
+    completed: Dict[ServingCellKey, ServingCellResult] = {}
+    if checkpoint_dir is not None:
+        checkpoint = CampaignCheckpoint(checkpoint_dir, seed=int(seed))
+        completed = checkpoint.load_serving(expectations)
+        if completed:
+            logger.info(
+                "serving campaign resume: %d of %d cells restored from %s",
+                len(completed),
+                len(expectations),
+                checkpoint.path,
+            )
+
+    family_by_name = {family.name: family for family in family_objs}
+    platform_by_name = {platform.name: platform for platform in platform_objs}
+
+    def make_task(key: ServingCellKey) -> _ServingCellTask:
+        platform_name, family_name = key
+        return _ServingCellTask(
+            platform=platform_by_name[platform_name],
+            family=family_by_name[family_name],
+            front=tuple(fronts[platform_name]),
+            members=members,
+            duration_ms=float(duration_ms),
+            metric=metric,
+            deadline_ms=deadline_ms,
+            seed=int(seed),
+        )
+
+    def finish_cell(key: ServingCellKey, result: ServingCellResult) -> None:
+        completed[key] = result
+        if checkpoint is not None:
+            checkpoint.store_serving(key, expectations[key], result)
+
+    pending = [key for key in expectations if key not in completed]
+    workers = 1 if cell_workers is None else int(cell_workers)
+    if workers > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = {
+                executor.submit(_run_serving_cell, make_task(key)): key
+                for key in pending
+            }
+            for future in as_completed(futures):
+                finish_cell(futures[future], future.result())
+    else:
+        for key in pending:
+            finish_cell(key, _run_serving_cell(make_task(key)))
+
+    cells = tuple(
+        completed[(platform.name, family.name)]
+        for family in family_objs
+        for platform in platform_objs
+    )
+    return ServingCampaignResult(
+        campaign=campaign,
+        platform_names=tuple(platform.name for platform in platform_objs),
+        family_names=tuple(family.name for family in family_objs),
+        cells=cells,
+        members_per_family=members,
+        duration_ms=float(duration_ms),
+        metric=metric,
+        seed=int(seed),
+    )

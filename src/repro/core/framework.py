@@ -413,6 +413,32 @@ class MapAndConquer:
         )
 
     # -- cross-platform campaigns -----------------------------------------------------
+    def _campaign_platforms(self, platforms, include_own_platform: bool, method: str):
+        """The campaign grid: resolved platforms, own board prepended.
+
+        Also enforces the shared restriction that campaigns cannot inherit a
+        custom or surrogate cost model — it is calibrated to one platform
+        and would mis-score every other cell.
+        """
+        from ..soc.presets import get_platform
+
+        if self.cost_model is not None:
+            raise ConfigurationError(
+                f"{method}() cannot reuse this framework's cost model: a custom "
+                "or surrogate cost model is calibrated to one platform and would "
+                "mis-score the other cells; build the campaign from an "
+                "analytical-oracle framework instead"
+            )
+        resolved = [
+            item if isinstance(item, Platform) else get_platform(item)
+            for item in platforms
+        ]
+        if include_own_platform and all(
+            platform.name != self.platform.name for platform in resolved
+        ):
+            resolved.insert(0, self.platform)
+        return resolved
+
     def campaign(
         self,
         platforms,
@@ -441,27 +467,49 @@ class MapAndConquer:
         re-ranking).
         """
         from ..campaign import run_campaign
-        from ..soc.presets import get_platform
 
-        if self.cost_model is not None:
-            raise ConfigurationError(
-                "campaign() cannot reuse this framework's cost model: a custom or "
-                "surrogate cost model is calibrated to one platform and would "
-                "mis-score the other cells; build the campaign from an "
-                "analytical-oracle framework instead"
-            )
-        resolved = [
-            item if isinstance(item, Platform) else get_platform(item)
-            for item in platforms
-        ]
-        if include_own_platform and all(
-            platform.name != self.platform.name for platform in resolved
-        ):
-            resolved.insert(0, self.platform)
         return run_campaign(
             self.network,
-            resolved,
+            self._campaign_platforms(platforms, include_own_platform, "campaign"),
             scenarios=scenarios,
+            seed=self.seed if seed is None else seed,
+            accuracy_model=self.evaluator.accuracy_model,
+            reorder_channels=self.evaluator.reorder_channels,
+            validation_samples=self.evaluator.validation_samples,
+            **kwargs,
+        )
+
+    def serving_campaign(
+        self,
+        platforms,
+        families=None,
+        include_own_platform: bool = True,
+        seed: Optional[int] = None,
+        **kwargs,
+    ):
+        """Search a platform grid, then rank the boards under traffic families.
+
+        Thin wrapper over :func:`repro.campaign.run_serving_campaign` bound
+        to ``self.network``: every platform is searched exactly as in
+        :meth:`campaign` (own platform prepended unless already listed or
+        ``include_own_platform=False``), then each front is deployed under
+        every member of every workload family
+        (:mod:`repro.serving.families`) and the platforms are ranked by
+        served-p99-per-joule.  Render the result with
+        :func:`repro.core.report.traffic_ranking_summary`.  The same
+        cost-model restriction as :meth:`campaign` applies.  See
+        :func:`repro.campaign.run_serving_campaign` for the remaining
+        keyword arguments (families, members_per_family, duration_ms,
+        metric, deadline_ms, checkpoint_dir, cell_workers, ...).
+        """
+        from ..campaign.serving_runner import run_serving_campaign
+
+        return run_serving_campaign(
+            self.network,
+            self._campaign_platforms(
+                platforms, include_own_platform, "serving_campaign"
+            ),
+            families=families,
             seed=self.seed if seed is None else seed,
             accuracy_model=self.evaluator.accuracy_model,
             reorder_channels=self.evaluator.reorder_channels,

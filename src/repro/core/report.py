@@ -27,6 +27,8 @@ __all__ = [
     "campaign_table",
     "portability_table",
     "campaign_summary",
+    "serving_campaign_table",
+    "traffic_ranking_summary",
     "hypervolume_curve",
     "generations_to_reach",
 ]
@@ -258,6 +260,68 @@ def campaign_summary(campaign) -> str:
                 f"(p99 {winner.metrics.p99_latency_ms:.2f} ms, "
                 f"{winner.metrics.energy_per_request_mj:.2f} mJ/req)"
             )
+    return "\n".join(lines)
+
+
+def serving_campaign_table(serving) -> str:
+    """One row per (family, platform) cell of a serving campaign.
+
+    Rows come out family-major (every platform under the first family, then
+    the next family), mirroring the cell order of
+    :class:`~repro.campaign.serving_runner.ServingCampaignResult`; the
+    ``served_p99/J`` column is the cell's headline score (see the
+    serving-runner module docs), rendered at fixed precision so the table is
+    byte-deterministic for a seed.
+    """
+    return format_table([cell.summary_row() for cell in serving.cells])
+
+
+def traffic_ranking_summary(serving) -> str:
+    """Full plain-text report of a serving campaign (deterministic per seed).
+
+    Contains only seed-determined numbers — the cell table, the per-family
+    platform ranking by served-p99-per-joule, and where that serving winner
+    disagrees with the platform the isolated-energy view would have picked.
+    """
+    lines = [
+        f"serving campaign: {serving.network_name} x "
+        f"{len(serving.platform_names)} platforms x "
+        f"{len(serving.family_names)} families x "
+        f"{serving.members_per_family} members "
+        f"(seed {serving.seed}, {serving.duration_ms:.0f} ms/member, "
+        f"ranked by {serving.metric})",
+        "",
+        serving_campaign_table(serving),
+        "",
+        "traffic ranking (served-p99-per-joule, best first):",
+    ]
+    for family in serving.family_names:
+        ranked = serving.ranking(family)
+        lines.append(
+            f"  {family}: "
+            + " > ".join(
+                f"{cell.platform_name} ({cell.served_p99_per_joule:.4f})"
+                for cell in ranked
+            )
+        )
+    isolated = serving.isolated_energy_best()
+    lines.append("")
+    lines.append(f"isolated-energy best: {isolated}")
+    disagreements = [
+        family
+        for family in serving.family_names
+        if serving.best_platform(family) != isolated
+    ]
+    if disagreements:
+        for family in disagreements:
+            lines.append(
+                f"  {family}: served best is {serving.best_platform(family)}, "
+                f"not {isolated}"
+            )
+    else:
+        lines.append(
+            "  every family's served winner matches the isolated-energy best"
+        )
     return "\n".join(lines)
 
 

@@ -136,8 +136,10 @@ class EvaluationCache:
             "payload": base64.b64encode(pickle.dumps(value)).decode("ascii"),
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # ensure_ascii=False keeps non-ASCII platform/unit names readable in
+        # the log; the explicit utf-8 handle makes that safe on any locale.
         with self.path.open("a", encoding="utf-8") as stream:
-            stream.write(json.dumps(record) + "\n")
+            stream.write(json.dumps(record, ensure_ascii=False) + "\n")
 
     def _load(self) -> None:
         """Reload persisted entries, surviving a mid-write crash.

@@ -15,10 +15,25 @@ this time dropping the "one request at a time" idealisation:
 * :mod:`repro.serving.metrics` -- tail latency, throughput, deadline misses,
   utilisation, energy, JSONL trace export,
 * :mod:`repro.serving.bridge` -- re-rank ``MapAndConquer.search`` results by
-  simulated p99-under-traffic instead of isolated averages.
+  simulated p99-under-traffic instead of isolated averages,
+* :mod:`repro.serving.families` -- parameterised workload families (steady
+  Poisson, bursty, diurnal, multi-tenant mixes) expanding into seeded member
+  scenarios for serving campaigns (:mod:`repro.campaign.serving_runner`).
 """
 
 from .bridge import TrafficRanking, rank_under_traffic, simulate_deployment
+from .families import (
+    DiurnalFamily,
+    MultiTenantMixFamily,
+    OnOffBurstFamily,
+    SteadyPoissonFamily,
+    WorkloadFamily,
+    default_families,
+    family_names,
+    family_registry,
+    get_family,
+    member_traffic_seed,
+)
 from .metrics import (
     ServingMetrics,
     compute_metrics,
@@ -70,4 +85,14 @@ __all__ = [
     "TrafficRanking",
     "simulate_deployment",
     "rank_under_traffic",
+    "WorkloadFamily",
+    "SteadyPoissonFamily",
+    "OnOffBurstFamily",
+    "DiurnalFamily",
+    "MultiTenantMixFamily",
+    "family_registry",
+    "family_names",
+    "get_family",
+    "default_families",
+    "member_traffic_seed",
 ]

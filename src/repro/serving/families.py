@@ -1,0 +1,312 @@
+"""Parameterised workload families: scenario sweeps instead of single traces.
+
+One :class:`~repro.serving.workload.ArrivalProcess` is a single traffic
+scenario; judging a *platform* needs a family of them — the same shape of
+traffic at deterministically varied intensities, periods and mixes.  A
+:class:`WorkloadFamily` captures that shape as a frozen parameter set and
+expands, via :meth:`WorkloadFamily.expand`, into ``n`` seeded member
+processes whose parameters are jittered around the family's base values.
+The expansion is pure: the same ``(family, seed, n)`` always yields members
+with identical parameters, so a serving campaign replaying them is
+byte-deterministic end to end.
+
+Four families cover the serving regimes of the workload zoo:
+
+* :class:`SteadyPoissonFamily` -- open-loop Poisson traffic at jittered rates,
+* :class:`OnOffBurstFamily` -- flash-crowd bursts with jittered envelopes,
+* :class:`DiurnalFamily` -- day-shaped sinusoidal load at jittered peaks,
+* :class:`MultiTenantMixFamily` -- a steady tenant sharing the platform with
+  a bursty one.
+
+A registry mirrors :mod:`repro.soc.presets`: :func:`family_names`,
+:func:`get_family` (case/separator-insensitive) and :func:`default_families`
+for the campaign default sweep.  Family parameters are part of each frozen
+dataclass's ``repr``, which the serving-campaign checkpoint fingerprints —
+editing a family therefore invalidates (and re-runs) exactly the cells that
+replayed it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils import check_non_negative, check_positive
+from .workload import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    MultiTenantStream,
+    OnOffBursts,
+    PoissonArrivals,
+)
+
+__all__ = [
+    "WorkloadFamily",
+    "SteadyPoissonFamily",
+    "OnOffBurstFamily",
+    "DiurnalFamily",
+    "MultiTenantMixFamily",
+    "family_registry",
+    "family_names",
+    "get_family",
+    "default_families",
+    "member_traffic_seed",
+]
+
+
+def _name_tag(name: str) -> int:
+    """Stable 31-bit tag of a family name (process- and run-independent)."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+def member_traffic_seed(seed: int, family_name: str, index: int) -> int:
+    """The traffic seed replayed for member ``index`` of a family.
+
+    Derived from the campaign seed, the family *name* and the member index
+    only — never from execution order — so serial, cell-parallel and resumed
+    serving campaigns replay identical arrival and difficulty streams.
+    """
+    sequence = np.random.SeedSequence(
+        [int(seed), _name_tag(family_name), int(index), 0x7AF1]
+    )
+    return int(np.random.default_rng(sequence).integers(0, 2**31 - 1))
+
+
+def _jittered(rng: np.random.Generator, jitter: float) -> float:
+    """One multiplicative jitter draw in ``[1 - jitter, 1 + jitter]``."""
+    return float(rng.uniform(1.0 - jitter, 1.0 + jitter))
+
+
+class WorkloadFamily:
+    """Base class: a named, frozen recipe expanding into member processes.
+
+    Subclasses are frozen dataclasses carrying a ``name`` plus the base
+    parameters and a ``jitter`` fraction; :meth:`_member` builds one
+    concrete :class:`~repro.serving.workload.ArrivalProcess` from a
+    member-specific RNG.
+    """
+
+    name: str = "family"
+
+    def expand(self, seed: int, n: int) -> Tuple[ArrivalProcess, ...]:
+        """The family's ``n`` member processes under ``seed``.
+
+        Member ``i`` draws its parameters from an RNG keyed on
+        ``(seed, family name, i)``, so growing ``n`` appends members without
+        perturbing the existing ones, and two families with different names
+        never correlate.
+        """
+        if int(n) < 1:
+            raise ConfigurationError(f"a family must expand to >= 1 members, got {n}")
+        return tuple(self._member(self._member_rng(seed, index)) for index in range(int(n)))
+
+    def member_labels(self, n: int) -> Tuple[str, ...]:
+        """Display labels of the first ``n`` members (``name#index``)."""
+        return tuple(f"{self.name}#{index}" for index in range(int(n)))
+
+    def _member_rng(self, seed: int, index: int) -> np.random.Generator:
+        sequence = np.random.SeedSequence([int(seed), _name_tag(self.name), int(index)])
+        return np.random.default_rng(sequence)
+
+    def _member(self, rng: np.random.Generator) -> ArrivalProcess:
+        raise NotImplementedError
+
+    def _check_jitter(self, jitter: float) -> None:
+        check_non_negative(jitter, "jitter")
+        if jitter >= 1.0:
+            raise ConfigurationError(
+                f"jitter must lie in [0, 1) so member rates stay positive, got {jitter}"
+            )
+
+
+@dataclass(frozen=True)
+class SteadyPoissonFamily(WorkloadFamily):
+    """Memoryless open-loop traffic at rates jittered around ``rate_rps``."""
+
+    rate_rps: float = 60.0
+    jitter: float = 0.25
+    deadline_ms: Optional[float] = None
+    name: str = "steady-poisson"
+
+    def __post_init__(self) -> None:
+        check_positive(self.rate_rps, "rate_rps")
+        self._check_jitter(self.jitter)
+
+    def _member(self, rng: np.random.Generator) -> ArrivalProcess:
+        return PoissonArrivals(
+            self.rate_rps * _jittered(rng, self.jitter), deadline_ms=self.deadline_ms
+        )
+
+
+@dataclass(frozen=True)
+class OnOffBurstFamily(WorkloadFamily):
+    """Flash-crowd traffic: burst/idle envelopes jittered around the base.
+
+    Each member jitters the burst rate and both phase lengths independently,
+    so the family spans sharp short bursts and longer rolling surges at the
+    same average intensity class.
+    """
+
+    burst_rps: float = 120.0
+    idle_rps: float = 8.0
+    burst_ms: float = 400.0
+    idle_ms: float = 600.0
+    jitter: float = 0.25
+    deadline_ms: Optional[float] = None
+    name: str = "on-off-bursts"
+
+    def __post_init__(self) -> None:
+        check_positive(self.burst_rps, "burst_rps")
+        check_non_negative(self.idle_rps, "idle_rps")
+        check_positive(self.burst_ms, "burst_ms")
+        check_positive(self.idle_ms, "idle_ms")
+        self._check_jitter(self.jitter)
+
+    def _member(self, rng: np.random.Generator) -> ArrivalProcess:
+        return OnOffBursts(
+            burst_rps=self.burst_rps * _jittered(rng, self.jitter),
+            idle_rps=self.idle_rps,
+            burst_ms=self.burst_ms * _jittered(rng, self.jitter),
+            idle_ms=self.idle_ms * _jittered(rng, self.jitter),
+            deadline_ms=self.deadline_ms,
+        )
+
+
+@dataclass(frozen=True)
+class DiurnalFamily(WorkloadFamily):
+    """Day-shaped sinusoidal load at jittered peak rates and periods."""
+
+    peak_rps: float = 90.0
+    trough_fraction: float = 0.2
+    period_ms: float = 2000.0
+    jitter: float = 0.25
+    deadline_ms: Optional[float] = None
+    name: str = "diurnal"
+
+    def __post_init__(self) -> None:
+        check_positive(self.peak_rps, "peak_rps")
+        check_non_negative(self.trough_fraction, "trough_fraction")
+        if self.trough_fraction > 1.0:
+            raise ConfigurationError(
+                f"trough_fraction must lie in [0, 1], got {self.trough_fraction}"
+            )
+        check_positive(self.period_ms, "period_ms")
+        self._check_jitter(self.jitter)
+
+    def _member(self, rng: np.random.Generator) -> ArrivalProcess:
+        peak = self.peak_rps * _jittered(rng, self.jitter)
+        return DiurnalArrivals(
+            peak_rps=peak,
+            trough_rps=peak * self.trough_fraction,
+            period_ms=self.period_ms * _jittered(rng, self.jitter),
+            deadline_ms=self.deadline_ms,
+        )
+
+
+@dataclass(frozen=True)
+class MultiTenantMixFamily(WorkloadFamily):
+    """A steady tenant and a bursty tenant sharing the platform.
+
+    Members jitter the steady rate and the burst envelope together, so the
+    family sweeps how violently the bursty tenant disturbs the steady one's
+    tail latency on a shared board.
+    """
+
+    steady_rps: float = 40.0
+    burst_rps: float = 90.0
+    burst_ms: float = 400.0
+    idle_ms: float = 800.0
+    jitter: float = 0.25
+    deadline_ms: Optional[float] = None
+    name: str = "multi-tenant-mix"
+
+    def __post_init__(self) -> None:
+        check_positive(self.steady_rps, "steady_rps")
+        check_positive(self.burst_rps, "burst_rps")
+        check_positive(self.burst_ms, "burst_ms")
+        check_positive(self.idle_ms, "idle_ms")
+        self._check_jitter(self.jitter)
+
+    def _member(self, rng: np.random.Generator) -> ArrivalProcess:
+        steady = PoissonArrivals(
+            self.steady_rps * _jittered(rng, self.jitter),
+            tenant="steady",
+            deadline_ms=self.deadline_ms,
+        )
+        bursty = OnOffBursts(
+            burst_rps=self.burst_rps * _jittered(rng, self.jitter),
+            idle_rps=0.0,
+            burst_ms=self.burst_ms * _jittered(rng, self.jitter),
+            idle_ms=self.idle_ms * _jittered(rng, self.jitter),
+            tenant="bursty",
+            deadline_ms=self.deadline_ms,
+        )
+        return MultiTenantStream((steady, bursty))
+
+
+#: The registry: canonical name -> zero-argument family factory.
+_REGISTRY: Dict[str, Callable[[], WorkloadFamily]] = {
+    "steady-poisson": SteadyPoissonFamily,
+    "on-off-bursts": OnOffBurstFamily,
+    "diurnal": DiurnalFamily,
+    "multi-tenant-mix": MultiTenantMixFamily,
+}
+
+
+def family_registry() -> Dict[str, Callable[[], WorkloadFamily]]:
+    """A copy of the family registry (name -> factory)."""
+    return dict(_REGISTRY)
+
+
+def family_names() -> Tuple[str, ...]:
+    """Canonical names of every registered family, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _canonical(name: str) -> str:
+    return name.strip().lower().replace("_", "-").replace(" ", "-")
+
+
+def get_family(name: str) -> WorkloadFamily:
+    """Build the registered family called ``name`` with default parameters.
+
+    Names are case-insensitive and underscore/dash agnostic, exactly like
+    :func:`repro.soc.presets.get_platform`.
+    """
+    factory = _REGISTRY.get(_canonical(name))
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown workload family {name!r}; registered families: {list(family_names())}"
+        )
+    return factory()
+
+
+def default_families() -> Tuple[WorkloadFamily, ...]:
+    """The default serving-campaign sweep: one instance of every registered
+    family, in registry order."""
+    return tuple(factory() for factory in _REGISTRY.values())
+
+
+def resolve_families(
+    families: Optional[Sequence[Union[str, WorkloadFamily]]],
+) -> Tuple[WorkloadFamily, ...]:
+    """Normalise a families argument: names and/or instances, unique names.
+
+    ``None`` yields :func:`default_families`.
+    """
+    if families is None:
+        return default_families()
+    resolved = tuple(
+        item if isinstance(item, WorkloadFamily) else get_family(item) for item in families
+    )
+    if not resolved:
+        raise ConfigurationError("pass None for the default families, not an empty list")
+    names = [family.name for family in resolved]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"workload families must have distinct names, got {names}")
+    return resolved

@@ -120,7 +120,7 @@ class TestCellParallelism:
             checkpoint_dir=tmp_path,
             **BUDGET,
         )
-        lines = (tmp_path / CampaignCheckpoint.FILENAME).read_text().splitlines()
+        lines = (tmp_path / CampaignCheckpoint.FILENAME).read_text(encoding="utf-8").splitlines()
         assert len(lines) == len(GRID)
 
     def test_invalid_cell_workers_rejected(self, tiny_network):
@@ -157,9 +157,11 @@ class TestCheckpointEdgeCases:
     ):
         run_campaign(tiny_network, GRID, seed=SEED, checkpoint_dir=tmp_path, **BUDGET)
         path = tmp_path / CampaignCheckpoint.FILENAME
-        lines = path.read_text().splitlines()
+        lines = path.read_text(encoding="utf-8").splitlines()
         # Truncate the second cell's payload mid-base64 (mid-write crash).
-        path.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2] + "\n")
+        path.write_text(
+            lines[0] + "\n" + lines[1][: len(lines[1]) // 2] + "\n", encoding="utf-8"
+        )
 
         searched = []
         original = runner_module._run_cell
@@ -257,7 +259,7 @@ class TestCheckpointEdgeCases:
     def test_checkpoint_load_tolerates_unknown_version_and_blank_lines(self, tmp_path):
         checkpoint = CampaignCheckpoint(tmp_path, seed=0)
         (tmp_path / CampaignCheckpoint.FILENAME).write_text(
-            "\n" + json.dumps({"version": 99}) + "\nnot json at all\n"
+            "\n" + json.dumps({"version": 99}) + "\nnot json at all\n", encoding="utf-8"
         )
         restored = checkpoint.load({("p", "s"): CellExpectation(fingerprint="x")})
         assert restored == {}

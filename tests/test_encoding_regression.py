@@ -1,0 +1,82 @@
+"""Regression: non-ASCII platform/family names survive every JSONL store.
+
+``EvaluationCache`` and ``CampaignCheckpoint`` write their JSONL with
+``ensure_ascii=False`` through an explicitly ``utf-8`` handle (a
+locale-dependent default encoding would crash or mojibake on Windows), so a
+platform derived with a non-ASCII name — entirely legal via
+:func:`repro.soc.presets.derive` — must round-trip byte-identically through
+persistent caches and checkpoints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import run_campaign, run_serving_campaign
+from repro.campaign.checkpoint import CampaignCheckpoint
+from repro.core.report import campaign_summary, traffic_ranking_summary
+from repro.engine.cache import EvaluationCache
+from repro.serving.families import SteadyPoissonFamily
+from repro.soc.presets import derive, get_platform
+
+#: Mixed scripts on purpose: Cyrillic, CJK and a micro sign.
+NON_ASCII_NAMES = ("ксавьер-µ", "移动端-低功耗")
+
+
+@pytest.fixture(scope="module")
+def non_ascii_platforms():
+    return (
+        derive(get_platform("jetson-nano-class"), NON_ASCII_NAMES[0]),
+        derive(get_platform("mobile-big-little"), NON_ASCII_NAMES[1], power_scale=0.8),
+    )
+
+
+BUDGET = dict(generations=2, population_size=6, seed=1)
+
+
+class TestNonAsciiCampaign:
+    def test_checkpointed_campaign_round_trips(self, tiny_network, tmp_path, non_ascii_platforms):
+        cache_path = tmp_path / "cache.jsonl"
+        first = run_campaign(
+            tiny_network,
+            non_ascii_platforms,
+            cache=cache_path,
+            checkpoint_dir=tmp_path,
+            **BUDGET,
+        )
+        # The names are stored as readable UTF-8, not \\u escapes.
+        raw = (tmp_path / CampaignCheckpoint.FILENAME).read_bytes()
+        for name in NON_ASCII_NAMES:
+            assert name.encode("utf-8") in raw
+        # The persistent cache reloads cleanly (no malformed-line recovery).
+        reloaded = EvaluationCache(path=cache_path)
+        assert reloaded.stats.loaded == len(reloaded)
+        assert len(reloaded) > 0
+        # Resuming from the checkpoint reproduces the summary byte for byte.
+        resumed = run_campaign(
+            tiny_network,
+            non_ascii_platforms,
+            cache=tmp_path / "cache2.jsonl",
+            checkpoint_dir=tmp_path,
+            **BUDGET,
+        )
+        assert campaign_summary(resumed) == campaign_summary(first)
+        assert NON_ASCII_NAMES[0] in campaign_summary(first)
+
+    def test_serving_campaign_with_non_ascii_family_name(
+        self, tiny_network, tmp_path, non_ascii_platforms
+    ):
+        family = SteadyPoissonFamily(rate_rps=30.0, name="стабильный-поток")
+        kwargs = dict(
+            families=(family,),
+            members_per_family=1,
+            duration_ms=400.0,
+            checkpoint_dir=tmp_path,
+            **BUDGET,
+        )
+        first = run_serving_campaign(tiny_network, non_ascii_platforms, **kwargs)
+        raw = (tmp_path / CampaignCheckpoint.FILENAME).read_bytes()
+        assert family.name.encode("utf-8") in raw
+        resumed = run_serving_campaign(tiny_network, non_ascii_platforms, **kwargs)
+        assert traffic_ranking_summary(resumed) == traffic_ranking_summary(first)
+        assert family.name in traffic_ranking_summary(first)

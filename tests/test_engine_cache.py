@@ -167,7 +167,7 @@ class TestEvaluationCache:
         cache = EvaluationCache(path=tmp_path / "cache.jsonl")
         cache.store(digest, value)
         cache.store(digest, value)
-        assert len((tmp_path / "cache.jsonl").read_text().splitlines()) == 1
+        assert len((tmp_path / "cache.jsonl").read_text(encoding="utf-8").splitlines()) == 1
 
 
 class TestPersistence:
@@ -191,7 +191,7 @@ class TestPersistence:
         cache = EvaluationCache(path=path)
         (digest, value), _ = evaluated_pair
         cache.store(digest, value)
-        record = json.loads(path.read_text().splitlines()[0])
+        record = json.loads(path.read_text(encoding="utf-8").splitlines()[0])
         assert record["key"] == digest
         assert record["metrics"]["latency_ms"] == pytest.approx(value.latency_ms)
         assert "payload" in record
@@ -201,7 +201,7 @@ class TestPersistence:
         cache = EvaluationCache(path=path)
         (digest, value), _ = evaluated_pair
         cache.store(digest, value)
-        with path.open("a") as stream:
+        with path.open("a", encoding="utf-8") as stream:
             stream.write("{not json}\n")
             stream.write(json.dumps({"version": 99, "key": "x", "payload": ""}) + "\n")
             # Valid version but no "key" field (foreign writer).
@@ -236,11 +236,13 @@ class TestPersistence:
         writer = EvaluationCache(path=path)
         for digest, value in evaluated_pair:
             writer.store(digest, value)
-        full = path.read_text()
+        full = path.read_text(encoding="utf-8")
         lines = full.splitlines(keepends=True)
         # Chop the last line in half, no trailing newline — exactly what a
         # SIGKILL during _append's write leaves behind.
-        path.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        path.write_text(
+            "".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2], encoding="utf-8"
+        )
 
         import logging
 

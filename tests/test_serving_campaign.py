@@ -1,0 +1,178 @@
+"""Tests for the serving-campaign runner (family sweeps over platform fronts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import run_serving_campaign
+from repro.core.framework import MapAndConquer
+from repro.core.report import serving_campaign_table, traffic_ranking_summary
+from repro.errors import ConfigurationError
+from repro.serving.families import OnOffBurstFamily, SteadyPoissonFamily
+from repro.utils import geometric_mean
+
+PLATFORMS = ("jetson-agx-xavier", "mobile-big-little")
+FAMILIES = (
+    SteadyPoissonFamily(rate_rps=40.0),
+    OnOffBurstFamily(burst_rps=90.0, idle_rps=5.0, burst_ms=300.0, idle_ms=500.0),
+)
+BUDGET = dict(
+    members_per_family=2,
+    duration_ms=600.0,
+    generations=2,
+    population_size=6,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def serving(tiny_network):
+    return run_serving_campaign(tiny_network, PLATFORMS, families=FAMILIES, **BUDGET)
+
+
+class TestResultStructure:
+    def test_one_cell_per_platform_family_pair_family_major(self, serving):
+        assert len(serving.cells) == len(PLATFORMS) * len(FAMILIES)
+        assert [(c.family_name, c.platform_name) for c in serving.cells] == [
+            (family.name, platform) for family in FAMILIES for platform in PLATFORMS
+        ]
+
+    def test_cell_accessor_and_unknown_key(self, serving):
+        cell = serving.cell("mobile-big-little", "steady-poisson")
+        assert cell.platform_name == "mobile-big-little"
+        assert len(cell.members) == BUDGET["members_per_family"]
+        with pytest.raises(ConfigurationError, match="no serving cell"):
+            serving.cell("mobile-big-little", "weekend")
+
+    def test_every_member_winner_comes_from_the_front(self, serving):
+        for cell in serving.cells:
+            front_size = len(serving.campaign.front(cell.platform_name))
+            for outcome in cell.members:
+                position = int(outcome.winner.rsplit("-", 1)[1])
+                assert outcome.winner.startswith("pareto-")
+                assert 0 <= position < front_size
+
+    def test_ranking_is_sorted_best_first(self, serving):
+        for family in serving.family_names:
+            scores = [cell.served_p99_per_joule for cell in serving.ranking(family)]
+            assert scores == sorted(scores, reverse=True)
+            assert serving.best_platform(family) == serving.ranking(family)[0].platform_name
+        with pytest.raises(ConfigurationError, match="no serving cells"):
+            serving.ranking("weekend")
+
+    def test_traffic_matrix_covers_the_grid(self, serving):
+        matrix = serving.traffic_matrix()
+        assert set(matrix) == {
+            (platform, family.name) for platform in PLATFORMS for family in FAMILIES
+        }
+        assert all(score > 0.0 for score in matrix.values())
+
+    def test_isolated_energy_best_is_a_campaign_platform(self, serving):
+        assert serving.isolated_energy_best() in serving.platform_names
+
+    def test_underlying_campaign_is_exposed(self, serving):
+        assert serving.campaign.platform_names == serving.platform_names
+        assert serving.network_name == serving.campaign.network_name
+
+
+class TestScoreArithmetic:
+    def test_member_score_is_requests_per_joule_over_p99(self, serving):
+        outcome = serving.cells[0].members[0]
+        requests_per_joule = 1000.0 / outcome.metrics.energy_per_request_mj
+        assert outcome.served_p99_per_joule == pytest.approx(
+            requests_per_joule / outcome.metrics.p99_latency_ms
+        )
+        assert outcome.joules_per_request == pytest.approx(
+            outcome.metrics.energy_per_request_mj / 1000.0
+        )
+
+    def test_cell_aggregates_members(self, serving):
+        cell = serving.cells[0]
+        members = cell.members
+        assert cell.p99_latency_ms == pytest.approx(
+            sum(m.metrics.p99_latency_ms for m in members) / len(members)
+        )
+        assert cell.deadline_miss_rate == pytest.approx(
+            sum(m.metrics.deadline_miss_rate for m in members) / len(members)
+        )
+        assert cell.served_p99_per_joule == pytest.approx(
+            geometric_mean([m.served_p99_per_joule for m in members])
+        )
+
+
+class TestDeterminismAndParallelism:
+    def test_serial_rerun_is_byte_identical(self, tiny_network, serving):
+        again = run_serving_campaign(tiny_network, PLATFORMS, families=FAMILIES, **BUDGET)
+        assert traffic_ranking_summary(again) == traffic_ranking_summary(serving)
+
+    def test_cell_parallel_is_byte_identical(self, tiny_network, serving):
+        parallel = run_serving_campaign(
+            tiny_network, PLATFORMS, families=FAMILIES, cell_workers=2, **BUDGET
+        )
+        assert traffic_ranking_summary(parallel) == traffic_ranking_summary(serving)
+
+    def test_different_seed_changes_the_replay(self, tiny_network, serving):
+        other = run_serving_campaign(
+            tiny_network,
+            PLATFORMS,
+            families=FAMILIES,
+            **{**BUDGET, "seed": 4},
+        )
+        assert traffic_ranking_summary(other) != traffic_ranking_summary(serving)
+
+
+class TestValidation:
+    def test_zero_members_rejected(self, tiny_network):
+        with pytest.raises(ConfigurationError, match="members_per_family"):
+            run_serving_campaign(
+                tiny_network, PLATFORMS, **{**BUDGET, "members_per_family": 0}
+            )
+
+    def test_unknown_metric_rejected_before_any_search(self, tiny_network):
+        with pytest.raises(ConfigurationError, match="unknown or unrankable"):
+            run_serving_campaign(
+                tiny_network, PLATFORMS, metric="p99_latency", **BUDGET
+            )
+
+    def test_non_positive_duration_rejected(self, tiny_network):
+        with pytest.raises(ConfigurationError, match="duration_ms"):
+            run_serving_campaign(
+                tiny_network, PLATFORMS, **{**BUDGET, "duration_ms": 0.0}
+            )
+
+
+class TestReports:
+    def test_table_has_one_row_per_cell(self, serving):
+        table = serving_campaign_table(serving)
+        # header + separator + one line per cell
+        assert len(table.splitlines()) == 2 + len(serving.cells)
+        assert "served_p99/J" in table
+
+    def test_summary_contains_rankings_and_isolated_comparison(self, serving):
+        summary = traffic_ranking_summary(serving)
+        assert summary.startswith("serving campaign: tiny x 2 platforms x 2 families")
+        assert "traffic ranking (served-p99-per-joule, best first):" in summary
+        assert f"isolated-energy best: {serving.isolated_energy_best()}" in summary
+        for family in serving.family_names:
+            assert f"  {family}: " in summary
+
+
+class TestFacade:
+    def test_serving_campaign_prepends_own_platform(self, tiny_network):
+        framework = MapAndConquer(tiny_network, seed=3)  # defaults to the Xavier
+        serving = framework.serving_campaign(
+            ["mobile-big-little"],
+            families=(SteadyPoissonFamily(rate_rps=30.0),),
+            members_per_family=1,
+            duration_ms=400.0,
+            generations=2,
+            population_size=6,
+        )
+        assert serving.platform_names == ("jetson-agx-xavier", "mobile-big-little")
+
+    def test_surrogate_framework_is_rejected(self, tiny_network):
+        framework = MapAndConquer(
+            tiny_network, seed=0, use_surrogate=True, surrogate_samples=40
+        )
+        with pytest.raises(ConfigurationError, match="cost model"):
+            framework.serving_campaign(["mobile-big-little"])

@@ -1,15 +1,15 @@
-"""Golden-file regression pin of ``campaign_summary`` bytes.
+"""Golden-file regression pin of ``traffic_ranking_summary`` bytes.
 
-A small 2-platform x 2-scenario grid at a fixed seed must render the exact
-bytes stored in ``tests/data/campaign_summary_golden.txt`` — through the
-serial path, the process evaluation backend, and the cell-parallel runner
-alike.  Any change to search semantics, evaluation numerics, translation
-rules or report formatting shows up here as a diff against a file a reviewer
-can read, instead of as silent drift.
+A 3-platform x 3-family serving campaign at a fixed seed must render the
+exact bytes stored in ``tests/data/serving_campaign_golden.txt`` — through
+the sequential path and the cell-parallel runner alike, and when resumed
+from a checkpoint.  Any change to search semantics, family expansion,
+simulator numerics, the served-p99-per-joule definition or report formatting
+shows up here as a reviewable diff instead of silent drift.
 
 To regenerate after an *intentional* change::
 
-    PYTHONPATH=src python tests/test_campaign_golden.py --regenerate
+    PYTHONPATH=src python tests/test_serving_campaign_golden.py --regenerate
 """
 
 from __future__ import annotations
@@ -18,18 +18,30 @@ from pathlib import Path
 
 import pytest
 
-from repro.campaign import CampaignScenario, run_campaign
-from repro.core.report import campaign_summary
+from repro.core.framework import MapAndConquer
+from repro.core.report import traffic_ranking_summary
+from repro.serving.families import (
+    DiurnalFamily,
+    OnOffBurstFamily,
+    SteadyPoissonFamily,
+)
 
-GOLDEN_PATH = Path(__file__).parent / "data" / "campaign_summary_golden.txt"
+GOLDEN_PATH = Path(__file__).parent / "data" / "serving_campaign_golden.txt"
 
-GRID = ("jetson-agx-xavier", "mobile-big-little")
-SCENARIOS = (
-    CampaignScenario(name="unconstrained"),
-    CampaignScenario(name="half-reuse", max_reuse_fraction=0.5),
+#: Xavier (the facade default) plus two boards with very different regimes.
+EXTRA_PLATFORMS = ("mobile-big-little", "jetson-nano-class")
+FAMILIES = (
+    SteadyPoissonFamily(rate_rps=40.0),
+    OnOffBurstFamily(burst_rps=90.0, idle_rps=5.0, burst_ms=300.0, idle_ms=500.0),
+    DiurnalFamily(peak_rps=70.0, trough_fraction=0.2, period_ms=1000.0),
 )
 SEED = 3
-BUDGET = dict(generations=2, population_size=6)
+BUDGET = dict(
+    members_per_family=2,
+    duration_ms=600.0,
+    generations=2,
+    population_size=6,
+)
 
 
 def _tiny_network():
@@ -69,10 +81,12 @@ def _tiny_network():
 
 def _render(**overrides) -> str:
     network = overrides.pop("network", None) or _tiny_network()
-    campaign = run_campaign(
-        network, GRID, scenarios=SCENARIOS, seed=SEED, **BUDGET, **overrides
+    framework = MapAndConquer(network, seed=SEED)
+    serving = framework.serving_campaign(
+        EXTRA_PLATFORMS, families=FAMILIES, seed=SEED, **BUDGET, **overrides
     )
-    return campaign_summary(campaign) + "\n"
+    assert len(serving.platform_names) >= 3 and len(serving.family_names) >= 3
+    return traffic_ranking_summary(serving) + "\n"
 
 
 @pytest.fixture(scope="module")
@@ -88,12 +102,14 @@ def test_serial_path_matches_golden(tiny_network, golden):
     assert _render(network=tiny_network) == golden
 
 
-def test_process_backend_matches_golden(tiny_network, golden):
-    assert _render(network=tiny_network, backend="process", n_workers=2) == golden
-
-
 def test_cell_parallel_matches_golden(tiny_network, golden):
     assert _render(network=tiny_network, cell_workers=2) == golden
+
+
+def test_checkpoint_resume_matches_golden(tiny_network, golden, tmp_path):
+    assert _render(network=tiny_network, checkpoint_dir=tmp_path) == golden
+    # Second pass: every cell restored from the checkpoint, bytes unchanged.
+    assert _render(network=tiny_network, checkpoint_dir=tmp_path) == golden
 
 
 if __name__ == "__main__":

@@ -1,0 +1,115 @@
+"""Unit tests for the workload-family registry and expansion protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.families import (
+    DiurnalFamily,
+    MultiTenantMixFamily,
+    OnOffBurstFamily,
+    SteadyPoissonFamily,
+    default_families,
+    family_names,
+    family_registry,
+    get_family,
+    resolve_families,
+)
+from repro.serving.workload import (
+    DiurnalArrivals,
+    MultiTenantStream,
+    OnOffBursts,
+    PoissonArrivals,
+)
+
+
+class TestRegistry:
+    def test_registry_names_sorted_and_complete(self):
+        assert family_names() == (
+            "diurnal",
+            "multi-tenant-mix",
+            "on-off-bursts",
+            "steady-poisson",
+        )
+        assert set(family_registry()) == set(family_names())
+
+    def test_get_family_is_case_and_separator_insensitive(self):
+        assert get_family("Steady_Poisson").name == "steady-poisson"
+        assert get_family(" ON-OFF-BURSTS ").name == "on-off-bursts"
+
+    def test_get_family_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown workload family"):
+            get_family("weekend-traffic")
+
+    def test_default_families_cover_the_registry(self):
+        assert tuple(family.name for family in default_families()) == (
+            "steady-poisson",
+            "on-off-bursts",
+            "diurnal",
+            "multi-tenant-mix",
+        )
+
+    def test_resolve_families_mixes_names_and_instances(self):
+        resolved = resolve_families(["diurnal", SteadyPoissonFamily(rate_rps=10.0)])
+        assert [family.name for family in resolved] == ["diurnal", "steady-poisson"]
+
+    def test_resolve_families_rejects_duplicates_and_empty(self):
+        with pytest.raises(ConfigurationError, match="distinct names"):
+            resolve_families(["diurnal", DiurnalFamily()])
+        with pytest.raises(ConfigurationError, match="not an empty list"):
+            resolve_families([])
+
+
+class TestExpansion:
+    def test_members_have_the_right_process_types(self):
+        assert all(
+            isinstance(p, PoissonArrivals)
+            for p in SteadyPoissonFamily().expand(0, 3)
+        )
+        assert all(isinstance(p, OnOffBursts) for p in OnOffBurstFamily().expand(0, 3))
+        assert all(isinstance(p, DiurnalArrivals) for p in DiurnalFamily().expand(0, 3))
+        assert all(
+            isinstance(p, MultiTenantStream)
+            for p in MultiTenantMixFamily().expand(0, 3)
+        )
+
+    def test_members_jitter_around_the_base_rate(self):
+        family = SteadyPoissonFamily(rate_rps=100.0, jitter=0.25)
+        rates = [member.rate_rps for member in family.expand(7, 8)]
+        assert all(75.0 <= rate <= 125.0 for rate in rates)
+        assert len(set(rates)) > 1  # members genuinely differ
+
+    def test_zero_jitter_collapses_members_to_the_base(self):
+        family = SteadyPoissonFamily(rate_rps=50.0, jitter=0.0)
+        assert all(member.rate_rps == 50.0 for member in family.expand(3, 4))
+
+    def test_deadline_propagates_to_members(self):
+        family = SteadyPoissonFamily(rate_rps=20.0, deadline_ms=40.0)
+        assert all(member.deadline_ms == 40.0 for member in family.expand(0, 2))
+
+    def test_expand_rejects_zero_members(self):
+        with pytest.raises(ConfigurationError, match=">= 1 members"):
+            SteadyPoissonFamily().expand(0, 0)
+
+    def test_member_labels(self):
+        assert DiurnalFamily().member_labels(2) == ("diurnal#0", "diurnal#1")
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            SteadyPoissonFamily(rate_rps=-1.0)
+        with pytest.raises(ConfigurationError, match="jitter"):
+            SteadyPoissonFamily(jitter=1.0)
+        with pytest.raises(ConfigurationError, match="trough_fraction"):
+            DiurnalFamily(trough_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            OnOffBurstFamily(burst_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            MultiTenantMixFamily(steady_rps=0.0)
+
+    def test_repr_carries_the_parameters(self):
+        # The serving-campaign checkpoint fingerprints the family repr;
+        # a parameter tweak must be visible there.
+        assert repr(SteadyPoissonFamily(rate_rps=10.0)) != repr(
+            SteadyPoissonFamily(rate_rps=20.0)
+        )

@@ -1,0 +1,249 @@
+"""Property tests (hypothesis) pinning every arrival-process family.
+
+The serving campaign's byte-determinism rests on the workload layer: every
+:class:`~repro.serving.workload.ArrivalProcess` must generate sorted,
+non-negative, in-window arrival times whose empirical rate matches its
+configured rate, bit-identically for a given seed.  These tests assert those
+invariants for all five process families plus the
+:mod:`repro.serving.families` expansion protocol on top of them.
+
+The statistical (mean-rate) tests run derandomized so CI never flakes on an
+unlucky draw; the tolerance is six sigma of the corresponding Poisson count
+on top of that.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.families import (
+    DiurnalFamily,
+    MultiTenantMixFamily,
+    OnOffBurstFamily,
+    SteadyPoissonFamily,
+    default_families,
+    member_traffic_seed,
+)
+from repro.serving.workload import (
+    ConstantRate,
+    DiurnalArrivals,
+    MultiTenantStream,
+    OnOffBursts,
+    PoissonArrivals,
+)
+
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+# -- strategies ---------------------------------------------------------------
+@st.composite
+def any_process(draw):
+    """One arrival process of any family with healthy random parameters."""
+    kind = draw(st.sampled_from(["constant", "poisson", "bursts", "diurnal", "multi"]))
+    rate = draw(st.floats(min_value=5.0, max_value=300.0))
+    if kind == "constant":
+        return ConstantRate(rate, phase_ms=draw(st.floats(min_value=0.0, max_value=50.0)))
+    if kind == "poisson":
+        return PoissonArrivals(rate)
+    if kind == "bursts":
+        return OnOffBursts(
+            burst_rps=rate,
+            idle_rps=draw(st.floats(min_value=0.0, max_value=20.0)),
+            burst_ms=draw(st.floats(min_value=50.0, max_value=800.0)),
+            idle_ms=draw(st.floats(min_value=50.0, max_value=800.0)),
+        )
+    if kind == "diurnal":
+        trough = draw(st.floats(min_value=0.0, max_value=rate))
+        return DiurnalArrivals(
+            peak_rps=rate,
+            trough_rps=trough,
+            period_ms=draw(st.floats(min_value=200.0, max_value=3000.0)),
+        )
+    return MultiTenantStream(
+        (
+            PoissonArrivals(rate, tenant="a"),
+            OnOffBursts(
+                burst_rps=rate, idle_rps=0.0, burst_ms=200.0, idle_ms=300.0, tenant="b"
+            ),
+        )
+    )
+
+
+# -- structural invariants (hold for every draw, so randomization is safe) ----
+class TestStructuralInvariants:
+    @given(process=any_process(), seed=SEEDS, duration=st.floats(200.0, 5000.0))
+    @settings(max_examples=150, deadline=None)
+    def test_sorted_non_negative_within_window(self, process, seed, duration):
+        requests = process.generate(duration, seed=seed)
+        times = [request.arrival_ms for request in requests]
+        assert times == sorted(times)
+        assert all(t >= 0.0 for t in times)
+        assert all(t < duration for t in times)
+
+    @given(process=any_process(), seed=SEEDS, duration=st.floats(200.0, 5000.0))
+    @settings(max_examples=100, deadline=None)
+    def test_byte_deterministic_per_seed(self, process, seed, duration):
+        first = process.generate(duration, seed=seed)
+        second = process.generate(duration, seed=seed)
+        # Request is a frozen dataclass: equality is exact float equality.
+        assert first == second
+
+
+# -- mean-rate tolerances (statistical: derandomized, six-sigma bounds) -------
+def _observed_rate(process, duration_ms, seed):
+    return len(process.generate(duration_ms, seed=seed)) * 1000.0 / duration_ms
+
+
+class TestMeanRates:
+    @given(
+        rate=st.floats(20.0, 200.0),
+        phase=st.floats(0.0, 20.0),
+        duration=st.floats(4000.0, 20000.0),
+    )
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_constant_rate_is_exact_within_one_arrival(self, rate, phase, duration):
+        process = ConstantRate(rate, phase_ms=phase)
+        count = len(process.generate(duration, seed=0))
+        expected = (duration - phase) * rate / 1000.0
+        assert abs(count - expected) <= 1.0 + 1e-6
+
+    @given(rate=st.floats(50.0, 200.0), duration=st.floats(5000.0, 20000.0), seed=SEEDS)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_poisson_mean_rate(self, rate, duration, seed):
+        expected = rate * duration / 1000.0
+        observed = _observed_rate(PoissonArrivals(rate), duration, seed) * duration / 1000.0
+        assert abs(observed - expected) <= 6.0 * expected**0.5
+
+    @given(
+        burst_rps=st.floats(80.0, 250.0),
+        idle_rps=st.floats(0.0, 30.0),
+        burst_ms=st.floats(100.0, 600.0),
+        idle_ms=st.floats(100.0, 600.0),
+        seed=SEEDS,
+    )
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_on_off_mean_rate(self, burst_rps, idle_rps, burst_ms, idle_ms, seed):
+        duration = 20000.0
+        process = OnOffBursts(burst_rps, idle_rps, burst_ms, idle_ms)
+        # Walk the deterministic phase envelope to integrate the exact
+        # expected count (the final phase is generally truncated).
+        expected = 0.0
+        start, bursting = 0.0, True
+        while start < duration:
+            phase = burst_ms if bursting else idle_ms
+            rate = burst_rps if bursting else idle_rps
+            end = min(start + phase, duration)
+            expected += rate * (end - start) / 1000.0
+            start, bursting = end, not bursting
+        observed = len(process.generate(duration, seed=seed))
+        assert abs(observed - expected) <= 6.0 * max(expected, 1.0) ** 0.5
+
+    @given(
+        peak=st.floats(60.0, 200.0),
+        trough_fraction=st.floats(0.0, 1.0),
+        periods=st.integers(4, 12),
+        seed=SEEDS,
+    )
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_diurnal_mean_rate_over_whole_periods(
+        self, peak, trough_fraction, periods, seed
+    ):
+        trough = peak * trough_fraction
+        period_ms = 2000.0
+        duration = periods * period_ms
+        process = DiurnalArrivals(peak_rps=peak, trough_rps=trough, period_ms=period_ms)
+        # Over whole periods the sinusoid integrates to its midpoint rate.
+        expected = (peak + trough) / 2.0 * duration / 1000.0
+        observed = len(process.generate(duration, seed=seed))
+        # The thinned process is Poisson with the integrated rate, but bound
+        # by the variance of the *candidate* stream at the peak rate.
+        sigma = (peak * duration / 1000.0) ** 0.5
+        assert abs(observed - expected) <= 6.0 * max(sigma, 1.0)
+
+    @given(rate_a=st.floats(40.0, 120.0), rate_b=st.floats(40.0, 120.0), seed=SEEDS)
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_multi_tenant_mean_rate_is_sum_of_tenants(self, rate_a, rate_b, seed):
+        duration = 15000.0
+        stream = MultiTenantStream(
+            (PoissonArrivals(rate_a, tenant="a"), PoissonArrivals(rate_b, tenant="b"))
+        )
+        expected = (rate_a + rate_b) * duration / 1000.0
+        observed = len(stream.generate(duration, seed=seed))
+        assert abs(observed - expected) <= 6.0 * expected**0.5
+
+
+# -- multi-tenant merge ordering ----------------------------------------------
+class TestMultiTenantMerge:
+    @given(seed=SEEDS, duration=st.floats(500.0, 4000.0))
+    @settings(max_examples=80, deadline=None)
+    def test_merge_is_sorted_with_tenant_tiebreak(self, seed, duration):
+        stream = MultiTenantStream(
+            (
+                PoissonArrivals(80.0, tenant="steady"),
+                OnOffBursts(
+                    burst_rps=120.0,
+                    idle_rps=0.0,
+                    burst_ms=200.0,
+                    idle_ms=300.0,
+                    tenant="bursty",
+                ),
+            )
+        )
+        merged = stream.generate(duration, seed=seed)
+        keys = [(request.arrival_ms, request.tenant) for request in merged]
+        assert keys == sorted(keys)
+        assert {request.tenant for request in merged} <= {"steady", "bursty"}
+
+    @given(seed=SEEDS)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_byte_deterministic(self, seed):
+        stream = MultiTenantStream(
+            (
+                PoissonArrivals(60.0, tenant="a"),
+                PoissonArrivals(90.0, tenant="b"),
+                OnOffBursts(
+                    burst_rps=100.0, idle_rps=5.0, burst_ms=150.0, idle_ms=250.0, tenant="c"
+                ),
+            )
+        )
+        assert stream.generate(2000.0, seed=seed) == stream.generate(2000.0, seed=seed)
+
+
+# -- family expansion protocol ------------------------------------------------
+FAMILY_EXAMPLES = (
+    SteadyPoissonFamily(),
+    OnOffBurstFamily(),
+    DiurnalFamily(),
+    MultiTenantMixFamily(),
+)
+
+
+class TestFamilyExpansion:
+    @given(family=st.sampled_from(FAMILY_EXAMPLES), seed=SEEDS, n=st.integers(1, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_expansion_is_deterministic_per_seed(self, family, seed, n):
+        first = family.expand(seed, n)
+        second = family.expand(seed, n)
+        assert len(first) == n
+        for a, b in zip(first, second):
+            assert a.generate(500.0, seed=0) == b.generate(500.0, seed=0)
+
+    @given(family=st.sampled_from(FAMILY_EXAMPLES), seed=SEEDS, n=st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_expansion_prefix_stable_when_grown(self, family, seed, n):
+        small = family.expand(seed, n)
+        large = family.expand(seed, n + 2)
+        for a, b in zip(small, large):
+            assert a.generate(500.0, seed=0) == b.generate(500.0, seed=0)
+
+    @given(seed=SEEDS, index=st.integers(0, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_member_traffic_seed_depends_on_family_name(self, seed, index):
+        seeds = {
+            member_traffic_seed(seed, family.name, index) for family in default_families()
+        }
+        assert len(seeds) == len(default_families())
+        assert member_traffic_seed(seed, "diurnal", index) == member_traffic_seed(
+            seed, "diurnal", index
+        )
