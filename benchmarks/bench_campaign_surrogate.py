@@ -1,0 +1,223 @@
+"""Surrogate-accelerated campaign vs. the pure-oracle campaign, same seed.
+
+The tentpole claim of the surrogate subsystem is *oracle-call reduction at
+negligible front cost*: a campaign driven by per-platform GBDT surrogates
+must reach (within a few percent of hypervolume) the same Pareto fronts as
+the pure-oracle campaign while spending several times fewer oracle
+evaluations.  This bench runs both campaigns at one seed and asserts the
+claim directly:
+
+* >= 5x fewer oracle evaluations in total (``MIN_ORACLE_REDUCTION``),
+* every cell's front keeps >= 95 % of the oracle front's hypervolume under a
+  shared reference point (``MAX_HV_REGRET``),
+* the vectorised GBDT batch ``predict`` beats the row-by-row reference walk
+  on a 256-row batch while producing identical numbers.
+
+It also appends the numbers to the persistent perf trajectory
+(``BENCH_campaign_surrogate.json`` at the repo root, via
+:mod:`perf_trajectory`) so the oracle-calls-saved / fidelity curve survives
+across PRs as a reviewable diff.
+
+``REPRO_SURROGATE_SMOKE=1`` shrinks the grid to one platform for CI; every
+assertion still runs.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_campaign_surrogate.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from perf_trajectory import emit
+from repro.campaign import run_campaign
+from repro.core.report import format_table, surrogate_summary
+from repro.engine.surrogate import SurrogateSettings
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import AttentionLayer, Conv2dLayer, FeedForwardLayer, LinearLayer
+from repro.perf.gbdt import GradientBoostedTrees
+from repro.search.pareto import hypervolume
+
+SMOKE = os.environ.get("REPRO_SURROGATE_SMOKE", "") == "1"
+
+GRID = ("jetson-agx-xavier",) if SMOKE else ("jetson-agx-xavier", "mobile-big-little")
+SEED = 0
+#: The oracle-reduction headline needs enough generations for the surrogate
+#: phase to amortise its two bootstrap generations: at 60 generations the
+#: pure-oracle campaign evaluates ~270 distinct configurations per cell while
+#: the surrogate path spends ~38 (bootstrap + three 6-point validations).
+BUDGET = dict(generations=60, population_size=12)
+SURROGATE = SurrogateSettings(
+    bootstrap_generations=2,
+    validate_every=20,
+    validation_cap=6,
+    min_training_rows=16,
+)
+
+MIN_ORACLE_REDUCTION = 5.0
+MAX_HV_REGRET = 0.05
+
+PREDICT_BATCH = 256
+PREDICT_REPEATS = 5
+
+
+def _tiny_network() -> NetworkGraph:
+    # Mirrors the campaign golden tests' network: small enough that the
+    # oracle is cheap, structured enough that the search is non-trivial.
+    layers = (
+        Conv2dLayer(
+            name="conv1",
+            width=16,
+            in_width=3,
+            kernel_size=3,
+            stride=1,
+            in_spatial=(8, 8),
+            out_spatial=(8, 8),
+        ),
+        AttentionLayer(name="attn", width=32, in_width=16, tokens=16, num_heads=4),
+        FeedForwardLayer(name="mlp", width=32, in_width=32, tokens=16, expansion=2.0),
+        LinearLayer(name="head", width=10, in_width=32, tokens=1),
+    )
+    return NetworkGraph(
+        name="tiny",
+        layers=layers,
+        input_shape=(3, 8, 8),
+        num_classes=10,
+        base_accuracy=0.9,
+        family="vit",
+    )
+
+
+def _shared_reference(fronts) -> list:
+    """One reference point dominated by every member of all given fronts."""
+    keys = (
+        lambda item: item.latency_ms,
+        lambda item: item.energy_mj,
+        lambda item: -item.accuracy,
+    )
+    reference = []
+    for key in keys:
+        worst = max(key(item) for front in fronts for item in front)
+        reference.append(worst + 0.1 * abs(worst) + 1e-9)
+    return reference
+
+
+def _time_best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_campaign_surrogate(save_table):
+    network = _tiny_network()
+
+    started = time.perf_counter()
+    baseline = run_campaign(network, GRID, seed=SEED, **BUDGET)
+    baseline_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    accelerated = run_campaign(network, GRID, seed=SEED, surrogate=SURROGATE, **BUDGET)
+    accelerated_s = time.perf_counter() - started
+
+    # --- oracle-call reduction -------------------------------------------
+    baseline_oracle = sum(cell.result.num_evaluations for cell in baseline.cells)
+    reports = [cell.surrogate_report for cell in accelerated.cells]
+    assert all(report is not None for report in reports)
+    surrogate_oracle = sum(report.oracle_evaluations for report in reports)
+    surrogate_candidates = surrogate_oracle + sum(
+        report.surrogate_evaluations for report in reports
+    )
+    reduction = baseline_oracle / surrogate_oracle
+    assert reduction >= MIN_ORACLE_REDUCTION, (
+        f"expected >= {MIN_ORACLE_REDUCTION}x fewer oracle calls, got "
+        f"{reduction:.2f}x ({baseline_oracle} -> {surrogate_oracle})"
+    )
+
+    # --- front fidelity ---------------------------------------------------
+    regrets = {}
+    for base_cell, cell in zip(baseline.cells, accelerated.cells):
+        assert (base_cell.platform_name, base_cell.scenario_name) == (
+            cell.platform_name,
+            cell.scenario_name,
+        )
+        reference = _shared_reference([base_cell.front, cell.front])
+        base_volume = hypervolume(base_cell.front, reference)
+        volume = hypervolume(cell.front, reference)
+        regret = 1.0 - volume / base_volume
+        regrets[cell.platform_name] = regret
+        assert regret <= MAX_HV_REGRET, (
+            f"{cell.platform_name}: hypervolume regret {regret:.4f} exceeds "
+            f"{MAX_HV_REGRET:.2f}"
+        )
+
+    # --- vectorised predict vs. the row walk ------------------------------
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(400, 12))
+    targets = features @ rng.normal(size=12) + 0.1 * rng.normal(size=400)
+    model = GradientBoostedTrees(n_estimators=60, max_depth=4, min_samples_leaf=3)
+    model.fit(features, targets)
+    batch = rng.normal(size=(PREDICT_BATCH, 12))
+    np.testing.assert_array_equal(model.predict(batch), model.predict_rowwise(batch))
+    vectorised_s = _time_best(lambda: model.predict(batch), PREDICT_REPEATS)
+    rowwise_s = _time_best(lambda: model.predict_rowwise(batch), PREDICT_REPEATS)
+    predict_speedup = rowwise_s / vectorised_s
+    assert predict_speedup > 1.0, (
+        f"vectorised predict must beat the row walk on a {PREDICT_BATCH}-row "
+        f"batch, got {predict_speedup:.2f}x"
+    )
+
+    # --- persist the trajectory ------------------------------------------
+    metrics = {
+        "grid": list(GRID),
+        "seed": SEED,
+        "generations": BUDGET["generations"],
+        "population_size": BUDGET["population_size"],
+        "smoke": SMOKE,
+        "oracle_evaluations_baseline": baseline_oracle,
+        "oracle_evaluations_surrogate": surrogate_oracle,
+        "candidate_evaluations_surrogate": surrogate_candidates,
+        "oracle_call_reduction_x": round(reduction, 3),
+        "hypervolume_regret_max": round(max(regrets.values()), 6),
+        "rank_correlation_min": round(
+            min(report.rank_correlation for report in reports), 4
+        ),
+        "oracle_evals_per_s": round(baseline_oracle / baseline_s, 1),
+        "surrogate_evals_per_s": round(surrogate_candidates / accelerated_s, 1),
+        "campaign_cells_per_min_baseline": round(
+            60.0 * len(baseline.cells) / baseline_s, 2
+        ),
+        "campaign_cells_per_min_surrogate": round(
+            60.0 * len(accelerated.cells) / accelerated_s, 2
+        ),
+        "predict_batch_rows": PREDICT_BATCH,
+        "predict_speedup_x": round(predict_speedup, 1),
+    }
+    emit("campaign_surrogate", metrics)
+
+    summary = "\n".join(
+        [
+            f"Surrogate campaign vs pure oracle, {len(GRID)} platform(s), "
+            f"{BUDGET['generations']}x{BUDGET['population_size']} budget, seed {SEED}",
+            "",
+            surrogate_summary(accelerated, baseline=baseline),
+            "",
+            format_table(
+                [
+                    {
+                        "oracle_reduction_x": reduction,
+                        "hv_regret_max": max(regrets.values()),
+                        "predict_speedup_x": predict_speedup,
+                        "baseline_wall_s": baseline_s,
+                        "surrogate_wall_s": accelerated_s,
+                    }
+                ],
+                float_format="{:.3f}",
+            ),
+        ]
+    )
+    save_table("campaign_surrogate", summary)

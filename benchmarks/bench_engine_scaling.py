@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import time
 
+from perf_trajectory import emit
 from repro.core.report import format_table
 from repro.engine.backends import ProcessPoolBackend, SerialBackend
 from repro.engine.engine import SearchEngine
@@ -105,6 +106,26 @@ def test_engine_scaling(save_table):
         ]
     )
     save_table("engine_scaling", summary)
+
+    # Persist evaluations/sec per backend to the perf trajectory so backend
+    # regressions show up as a diff at the repo root (see perf_trajectory).
+    emit(
+        "engine",
+        {
+            "generations": GENERATIONS,
+            "population": POPULATION,
+            "host_cores": cores,
+            "evaluations": serial_result.num_evaluations,
+            "backends": {
+                ("serial" if row["backend"] == "serial" else f"process-{row['workers']}"): {
+                    "wall_s": round(row["wall_s"], 3),
+                    "evaluations_per_s": round(row["evaluations"] / row["wall_s"], 1),
+                    "speedup_x": round(row["speedup_x"], 2),
+                }
+                for row in rows
+            },
+        },
+    )
 
     # Wall-clock is hardware- and contention-dependent, so the speedup gate
     # is opt-in for dedicated machines; parity above is the correctness bar.

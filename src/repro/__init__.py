@@ -53,6 +53,7 @@ from .core.report import (
     campaign_table,
     format_table,
     serving_campaign_table,
+    surrogate_summary,
     traffic_ranking_summary,
 )
 from .engine import (
@@ -63,6 +64,7 @@ from .engine import (
     RandomStrategy,
     SearchEngine,
     SerialBackend,
+    SurrogateSettings,
 )
 from .nn.models import build_model, resnet20, vgg19, visformer
 from .search.constraints import SearchConstraints
@@ -102,6 +104,8 @@ __all__ = [
     "run_campaign",
     "campaign_table",
     "campaign_summary",
+    "surrogate_summary",
+    "SurrogateSettings",
     "ServingCampaignResult",
     "run_serving_campaign",
     "serving_campaign_table",

@@ -101,10 +101,19 @@ def campaign_fingerprint(**fields: object) -> str:
 
 @dataclass(frozen=True)
 class CellExpectation:
-    """What the current run demands of a checkpointed cell to accept it."""
+    """What the current run demands of a checkpointed cell to accept it.
+
+    ``surrogate`` is the fingerprint tag of the cell's surrogate settings
+    (``""`` for a pure-oracle cell).  It is deliberately *not* folded into
+    the base fingerprint: a base mismatch means incompatible searches and
+    raises, while a surrogate mismatch only means the acceleration settings
+    changed — the affected cells are silently re-run, exactly like serving
+    cells whose family definition changed.
+    """
 
     fingerprint: str
     donors: Tuple[str, ...] = ()
+    surrogate: str = ""
 
 
 @dataclass
@@ -115,8 +124,9 @@ class CheckpointStats:
     stale: int = 0
     donor_mismatch: int = 0
     malformed: int = 0
-    #: Serving cells dropped because their fingerprint (family definition,
-    #: replay budget or deployed front) no longer matches — re-run, not fatal.
+    #: Cells dropped for re-running rather than raising: serving cells whose
+    #: fingerprint (family definition, replay budget or deployed front) no
+    #: longer matches, and search cells whose surrogate settings changed.
     refreshed: int = 0
 
 
@@ -154,6 +164,7 @@ class CampaignCheckpoint:
         restored: Dict[CellKey, SearchResult] = {}
         self.stats = CheckpointStats()
         mismatched = set()
+        stale_surrogate = set()
         for record, fingerprint, key in self._iter_records("search"):
             expectation = expected.get(key)
             if expectation is None:
@@ -175,6 +186,9 @@ class CampaignCheckpoint:
             if donors != expectation.donors:
                 mismatched.add(key)
                 continue
+            if str(record.get("surrogate", "")) != expectation.surrogate:
+                stale_surrogate.add(key)
+                continue
             result = self._decode_payload(record, SearchResult)
             if result is not None:
                 restored[key] = result
@@ -182,6 +196,7 @@ class CampaignCheckpoint:
         # A mismatched line may be superseded by a later line for the same
         # cell (the file is append-only); only cells left unrestored re-run.
         self.stats.donor_mismatch = len(mismatched - set(restored))
+        self.stats.refreshed = len(stale_surrogate - set(restored))
         if self.stats.malformed:
             logger.warning(
                 "campaign checkpoint %s: restored %d cells, skipped %d malformed "
@@ -196,6 +211,13 @@ class CampaignCheckpoint:
                 "donor chain changed with the grid",
                 self.path,
                 self.stats.donor_mismatch,
+            )
+        if self.stats.refreshed:
+            logger.info(
+                "campaign checkpoint %s: re-running %d cells whose surrogate "
+                "settings changed",
+                self.path,
+                self.stats.refreshed,
             )
         return restored
 
@@ -319,6 +341,7 @@ class CampaignCheckpoint:
                 "platform": platform_name,
                 "scenario": scenario_name,
                 "donors": list(expectation.donors),
+                "surrogate": expectation.surrogate,
                 "metrics": {
                     "evaluations": result.num_evaluations,
                     "front": len(result.pareto),

@@ -39,6 +39,7 @@ cell-parallel paths agreeing bit for bit, interrupted or not.
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -48,6 +49,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..dynamics.accuracy import AccuracyModel
 from ..dynamics.samples import DEFAULT_VALIDATION_SAMPLES
 from ..engine.cache import EvaluationCache
+from ..engine.surrogate import SurrogateSettings
 from ..errors import ConfigurationError
 from ..nn.graph import NetworkGraph
 from ..search.constraints import SearchConstraints
@@ -127,6 +129,14 @@ class CampaignCell:
     def front(self) -> Tuple[EvaluatedConfig, ...]:
         """The cell's Pareto front."""
         return self.result.pareto
+
+    @property
+    def surrogate_report(self):
+        """The cell's :class:`~repro.engine.surrogate.SurrogateReport`.
+
+        ``None`` for pure-oracle cells (``getattr`` keeps results pickled
+        before the field existed readable)."""
+        return getattr(self.result, "surrogate", None)
 
 
 @dataclass(frozen=True)
@@ -277,6 +287,7 @@ class _CellTask:
     validation_samples: int
     seed: int
     warm_seeds: Tuple[MappingConfig, ...] = ()
+    surrogate: Optional[SurrogateSettings] = None
 
 
 def _build_cell_framework(task: _CellTask):
@@ -319,6 +330,7 @@ def _run_cell(
         n_workers=task.n_workers,
         cache=cache,
         initial_population=list(task.warm_seeds) if task.warm_seeds else None,
+        surrogate=task.surrogate,
     )
 
 
@@ -344,6 +356,7 @@ def run_campaign(
     checkpoint_dir: Union[str, Path, None] = None,
     cell_workers: Optional[int] = None,
     warm_start: bool = False,
+    surrogate: Optional[SurrogateSettings] = None,
 ) -> CampaignResult:
     """Search ``network`` across a platform x scenario grid and compare.
 
@@ -397,6 +410,21 @@ def run_campaign(
         capped at half the population so exploration survives.  The first
         platform always runs cold.  Cells then run in platform-order waves
         so donors finish first — identically under ``cell_workers``.
+    surrogate:
+        ``None`` (default) evaluates every candidate through the real
+        oracle, byte-for-byte as before.  A
+        :class:`~repro.engine.surrogate.SurrogateSettings` instance runs
+        every cell surrogate-assisted (per-platform GBDT models, periodic
+        oracle re-validation; see :meth:`MapAndConquer.search`).  Cache
+        harvesting is disabled per cell regardless of the settings — the
+        shared cache's content depends on cell scheduling, and training on
+        it would break the serial == cell-parallel byte guarantee.  Each
+        cell's :class:`~repro.engine.surrogate.SurrogateReport` is exposed
+        as :attr:`CampaignCell.surrogate_report` and summarised by
+        :func:`repro.core.report.surrogate_summary`.  Checkpoints record
+        the surrogate settings: resuming with different settings re-runs
+        exactly the affected cells (like stale serving families), never
+        mixing fronts searched under different acceleration.
     """
     platform_objs = _resolve_platforms(platforms)
     scenario_objs = _resolve_scenarios(scenarios)
@@ -433,6 +461,23 @@ def run_campaign(
     workers = 1 if cell_workers is None else int(cell_workers)
     platform_by_name = {platform.name: platform for platform in platform_objs}
     scenario_by_name = {scenario.name: scenario for scenario in scenario_objs}
+    if surrogate is not None and not isinstance(surrogate, SurrogateSettings):
+        raise ConfigurationError(
+            f"surrogate must be a SurrogateSettings or None, got "
+            f"{type(surrogate).__name__}"
+        )
+    # Cells never harvest the ambient shared cache: its content depends on
+    # which cells ran before (and in-process vs worker), which would break
+    # the serial == cell-parallel byte guarantee.  Training rows come only
+    # from each cell's own seeded bootstrap and validations.
+    cell_surrogate = (
+        None
+        if surrogate is None
+        else dataclasses.replace(surrogate, bootstrap_from_cache=False)
+    )
+    surrogate_tag = (
+        "" if cell_surrogate is None else campaign_fingerprint(surrogate=cell_surrogate)
+    )
 
     def cell_budget(scenario: CampaignScenario) -> Tuple[int, int]:
         gens = scenario.generations if scenario.generations is not None else generations
@@ -470,7 +515,7 @@ def run_campaign(
                 warm_start=bool(warm_start),
             )
             expectations[(platform.name, scenario.name)] = CellExpectation(
-                fingerprint=fingerprint, donors=donors
+                fingerprint=fingerprint, donors=donors, surrogate=surrogate_tag
             )
 
     checkpoint: Optional[CampaignCheckpoint] = None
@@ -524,6 +569,7 @@ def run_campaign(
             validation_samples=validation_samples,
             seed=int(seed),
             warm_seeds=warm_seeds,
+            surrogate=cell_surrogate,
         )
 
     def finish_cell(key: CellKey, result: SearchResult) -> None:
@@ -594,8 +640,10 @@ def run_campaign(
             if key not in offloaded:
                 continue
             evaluator = frameworks[key].evaluator
-            for item in completed[key].history:
-                shared_cache.store(evaluator.content_digest(item.config), item)
+            shared_cache.store_many(
+                (evaluator.content_digest(item.config), item)
+                for item in completed[key].history
+            )
 
     cells = []
     for scenario in scenario_objs:

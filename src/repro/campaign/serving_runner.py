@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..dynamics.accuracy import AccuracyModel
 from ..dynamics.samples import DEFAULT_VALIDATION_SAMPLES
 from ..engine.cache import EvaluationCache
+from ..engine.surrogate import SurrogateSettings
 from ..errors import ConfigurationError
 from ..nn.graph import NetworkGraph
 from ..search.evaluation import EvaluatedConfig
@@ -339,6 +340,7 @@ def run_serving_campaign(
     checkpoint_dir: Union[str, Path, None] = None,
     cell_workers: Optional[int] = None,
     warm_start: bool = False,
+    surrogate: Optional[SurrogateSettings] = None,
 ) -> ServingCampaignResult:
     """Search every platform, then sweep workload families over the fronts.
 
@@ -367,9 +369,12 @@ def run_serving_campaign(
         budget overrides); ``None`` searches unconstrained.
     strategy, backend, n_workers, cache, generations, population_size,
     num_stages, accuracy_model, reorder_channels, validation_samples, seed,
-    checkpoint_dir, cell_workers, warm_start:
+    checkpoint_dir, cell_workers, warm_start, surrogate:
         Forwarded to :func:`~repro.campaign.runner.run_campaign` for the
-        search phase.  ``checkpoint_dir`` additionally persists every
+        search phase.  ``surrogate`` accelerates the per-platform searches;
+        replays always deploy the oracle-validated fronts, and the serving
+        fingerprint covers the deployed front, so a surrogate-shaped front
+        refreshes exactly the affected serving cells.  ``checkpoint_dir`` additionally persists every
         finished *serving* cell (record kind ``serving``) in the same JSONL
         file, so an interrupted sweep resumes where it stopped; a serving
         cell whose family definition, replay budget or deployed front
@@ -406,6 +411,7 @@ def run_serving_campaign(
         checkpoint_dir=checkpoint_dir,
         cell_workers=cell_workers,
         warm_start=warm_start,
+        surrogate=surrogate,
     )
     scenario_name = campaign.scenario_names[0]
     fronts = {

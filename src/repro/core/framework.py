@@ -20,6 +20,7 @@ baselines and Pareto selections reported in the paper.
 
 from __future__ import annotations
 
+import dataclasses
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Tuple
 
@@ -30,6 +31,12 @@ from ..engine.cache import EvaluationCache
 from ..engine.engine import SearchEngine
 from ..engine.nsga import NSGA2Strategy
 from ..engine.strategies import EvolutionaryStrategy, RandomStrategy, SearchStrategy
+from ..engine.surrogate import (
+    SurrogateAssistedStrategy,
+    SurrogateEvaluationBackend,
+    SurrogateObjective,
+    SurrogateSettings,
+)
 from ..errors import ConfigurationError
 from ..nn.channels import ChannelRanking, rank_channels
 from ..nn.graph import NetworkGraph
@@ -177,6 +184,7 @@ class MapAndConquer:
         n_workers: Optional[int] = None,
         cache: "EvaluationCache | str | Path | None" = None,
         initial_population: Optional[Sequence[MappingConfig]] = None,
+        surrogate: Optional[SurrogateSettings] = None,
     ) -> SearchResult:
         """Run the mapping search (Fig. 5) and return its result.
 
@@ -211,13 +219,38 @@ class MapAndConquer:
             translated from a related platform
             (:func:`repro.campaign.translate_config`).  ``None`` keeps the
             cold-start behaviour bit-for-bit.
+        surrogate:
+            ``None`` (default) runs every candidate through the real
+            evaluation pipeline, bit-for-bit as before.  A
+            :class:`~repro.engine.surrogate.SurrogateSettings` instance
+            accelerates the search with per-objective GBDT models: after a
+            short oracle bootstrap the inner strategy's generations are
+            answered by the surrogate and only the incumbent Pareto front is
+            periodically re-validated through the oracle.  The result's
+            history/pareto/best then contain exclusively real evaluations
+            and ``result.surrogate`` carries the
+            :class:`~repro.engine.surrogate.SurrogateReport`.
         """
+        if surrogate is not None and not isinstance(surrogate, SurrogateSettings):
+            raise ConfigurationError(
+                f"surrogate must be a SurrogateSettings or None, got "
+                f"{type(surrogate).__name__}"
+            )
+        if surrogate is not None and isinstance(strategy, SearchStrategy):
+            raise ConfigurationError(
+                "surrogate search wraps the inner strategy's objective; pass a "
+                "strategy name, not an instance, when surrogate settings are given"
+            )
+        resolved_objective = paper_objective if objective is None else objective
+        inner_objective = objective
+        if surrogate is not None:
+            inner_objective = SurrogateObjective(resolved_objective)
         strategy_obj = self._build_strategy(
             strategy,
             generations=generations,
             population_size=population_size,
             constraints=constraints,
-            objective=objective,
+            objective=inner_objective,
             elite_fraction=elite_fraction,
             mutation_rate=mutation_rate,
             seed=seed,
@@ -240,6 +273,23 @@ class MapAndConquer:
             cache_obj = cache
         else:
             cache_obj = EvaluationCache(path=cache)
+        if surrogate is not None:
+            backend_obj = SurrogateEvaluationBackend(
+                backend_obj,
+                evaluator=self.evaluator,
+                settings=surrogate,
+                objective=resolved_objective,
+                owns_inner=owns_backend,
+            )
+            owns_backend = True
+            if surrogate.bootstrap_from_cache:
+                backend_obj.harvest(cache_obj)
+            strategy_obj = SurrogateAssistedStrategy(
+                inner=strategy_obj,
+                backend=backend_obj,
+                settings=surrogate,
+                objective=resolved_objective,
+            )
         engine = SearchEngine(
             evaluator=self.evaluator,
             backend=backend_obj,
@@ -249,7 +299,10 @@ class MapAndConquer:
             platform=self.platform,
         )
         try:
-            return engine.run(strategy_obj)
+            result = engine.run(strategy_obj)
+            if surrogate is not None:
+                result = dataclasses.replace(result, surrogate=strategy_obj.report())
+            return result
         finally:
             if owns_backend:
                 backend_obj.close()

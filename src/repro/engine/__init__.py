@@ -20,6 +20,14 @@ from .cache import CacheStats, EvaluationCache
 from .engine import SearchEngine
 from .nsga import NSGA2Strategy, crowding_distance, non_dominated_sort, objective_matrix
 from .strategies import EvolutionaryStrategy, RandomStrategy, SearchStrategy
+from .surrogate import (
+    SurrogateAssistedStrategy,
+    SurrogateEvaluationBackend,
+    SurrogateObjective,
+    SurrogatePrediction,
+    SurrogateReport,
+    SurrogateSettings,
+)
 
 __all__ = [
     "CacheStats",
@@ -36,4 +44,10 @@ __all__ = [
     "crowding_distance",
     "objective_matrix",
     "SearchEngine",
+    "SurrogateSettings",
+    "SurrogatePrediction",
+    "SurrogateObjective",
+    "SurrogateEvaluationBackend",
+    "SurrogateAssistedStrategy",
+    "SurrogateReport",
 ]

@@ -28,7 +28,7 @@ import logging
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigurationError
 from ..search.evaluation import EvaluatedConfig
@@ -105,9 +105,34 @@ class EvaluationCache:
         self.stats.hits += 1
         return value
 
+    def get_many(self, digests: Sequence[str]) -> Dict[str, EvaluatedConfig]:
+        """Resolve a batch of digests in one pass, with bulk stat updates.
+
+        Returns the subset of ``digests`` present in the cache.  Counts one
+        hit per found digest and one miss per absent digest (duplicates in
+        ``digests`` each count), so the statistics match a sequence of
+        individual :meth:`lookup` calls.
+        """
+        found: Dict[str, EvaluatedConfig] = {}
+        misses = 0
+        entries = self._entries
+        for digest in digests:
+            value = entries.get(digest)
+            if value is None:
+                misses += 1
+            else:
+                found[digest] = value
+        self.stats.hits += len(digests) - misses
+        self.stats.misses += misses
+        return found
+
     def peek(self, digest: str) -> Optional[EvaluatedConfig]:
         """Like :meth:`lookup` but without touching the statistics."""
         return self._entries.get(digest)
+
+    def items(self) -> Iterator[Tuple[str, EvaluatedConfig]]:
+        """Iterate over ``(digest, result)`` pairs (no stat updates)."""
+        return iter(self._entries.items())
 
     def store(self, digest: str, value: EvaluatedConfig) -> None:
         """Insert a freshly evaluated result and persist it if configured."""
@@ -121,9 +146,34 @@ class EvaluationCache:
         if self.path is not None:
             self._append(digest, value)
 
+    def store_many(self, pairs: Iterable[Tuple[str, EvaluatedConfig]]) -> None:
+        """Insert a batch of results, skipping digests already present.
+
+        Equivalent to calling :meth:`store` per pair, but persisted entries
+        are flushed through a single file append.
+        """
+        fresh: list = []
+        for digest, value in pairs:
+            if not isinstance(value, EvaluatedConfig):
+                raise ConfigurationError(
+                    f"cache values must be EvaluatedConfig, got {type(value).__name__}"
+                )
+            if digest in self._entries:
+                continue
+            self._entries[digest] = value
+            fresh.append((digest, value))
+        if self.path is not None and fresh:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as stream:
+                for digest, value in fresh:
+                    stream.write(
+                        json.dumps(self._record(digest, value), ensure_ascii=False) + "\n"
+                    )
+
     # -- persistence -------------------------------------------------------------
-    def _append(self, digest: str, value: EvaluatedConfig) -> None:
-        record = {
+    @staticmethod
+    def _record(digest: str, value: EvaluatedConfig) -> Dict[str, object]:
+        return {
             "version": _PERSIST_VERSION,
             "key": digest,
             "metrics": {
@@ -135,11 +185,13 @@ class EvaluationCache:
             "mapping": value.config.describe(),
             "payload": base64.b64encode(pickle.dumps(value)).decode("ascii"),
         }
+
+    def _append(self, digest: str, value: EvaluatedConfig) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # ensure_ascii=False keeps non-ASCII platform/unit names readable in
         # the log; the explicit utf-8 handle makes that safe on any locale.
         with self.path.open("a", encoding="utf-8") as stream:
-            stream.write(json.dumps(record, ensure_ascii=False) + "\n")
+            stream.write(json.dumps(self._record(digest, value), ensure_ascii=False) + "\n")
 
     def _load(self) -> None:
         """Reload persisted entries, surviving a mid-write crash.

@@ -93,26 +93,30 @@ class SearchEngine:
         counts as exactly one miss.
         """
         digests = [self.evaluator.content_digest(config) for config in configs]
-        resolved: Dict[str, EvaluatedConfig] = {}
-        pending_configs: List[MappingConfig] = []
-        pending_digests: List[str] = []
-        pending_set = set()
+        # One cache pass for the whole generation: deduplicate the batch
+        # (each duplicate is a hit), resolve the distinct digests through
+        # get_many, and send only the misses to the backend.
+        unique_configs: List[MappingConfig] = []
+        unique_digests: List[str] = []
+        seen = set()
         for config, digest in zip(configs, digests):
-            if digest in resolved or digest in pending_set:
-                self.cache.stats.hits += 1
+            if digest in seen:
                 continue
-            cached = self.cache.lookup(digest)
-            if cached is not None:
-                resolved[digest] = cached
-            else:
-                pending_set.add(digest)
-                pending_configs.append(config)
-                pending_digests.append(digest)
-        if pending_configs:
-            fresh = self.backend.evaluate(pending_configs)
-            for digest, item in zip(pending_digests, fresh):
-                self.cache.store(digest, item)
-                resolved[digest] = item
+            seen.add(digest)
+            unique_configs.append(config)
+            unique_digests.append(digest)
+        self.cache.stats.hits += len(digests) - len(unique_digests)
+        resolved: Dict[str, EvaluatedConfig] = self.cache.get_many(unique_digests)
+        pending = [
+            (config, digest)
+            for config, digest in zip(unique_configs, unique_digests)
+            if digest not in resolved
+        ]
+        if pending:
+            fresh = self.backend.evaluate([config for config, _ in pending])
+            fresh_pairs = [(digest, item) for (_, digest), item in zip(pending, fresh)]
+            self.cache.store_many(fresh_pairs)
+            resolved.update(fresh_pairs)
         return [resolved[digest] for digest in digests], digests
 
     # -- the loop ----------------------------------------------------------------

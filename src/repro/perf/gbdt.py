@@ -5,9 +5,11 @@ specifications, deployment hardware and DVFS settings (Sect. V-E).  Since no
 third-party boosting library is available offline, this module implements the
 same model class: an ensemble of shallow CART regression trees fitted to the
 residuals of a squared-error objective with shrinkage (learning rate) and
-optional row subsampling.  The implementation favours clarity over raw speed;
-the surrogate-training datasets used in this reproduction are a few thousand
-rows, for which exact greedy splitting is more than fast enough.
+optional row subsampling.  Split search and prediction are vectorised over
+numpy (an exact-greedy cumulative-sum scan per feature, and batched node
+traversal over a flattened tree) so the model is fast enough to sit *inside*
+the search loop as an in-the-loop surrogate, not just behind a pre-trained
+cost model; the numerics are bit-identical to the original scalar loops.
 """
 
 from __future__ import annotations
@@ -49,6 +51,7 @@ class RegressionTree:
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self._root: Optional[_TreeNode] = None
+        self._flat: Optional[tuple] = None
 
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "RegressionTree":
         """Fit the tree to ``features`` (n x d) and ``targets`` (n,)."""
@@ -58,19 +61,81 @@ class RegressionTree:
             raise PredictionError("features must be (n, d) and targets (n,) with matching n")
         if features.shape[0] == 0:
             raise PredictionError("cannot fit a tree on an empty dataset")
-        self._root = self._grow(features, targets, depth=0)
+        if np.all(targets == targets[0]):
+            # Constant targets admit no gainful split; short-circuit to a leaf
+            # (identical output to the full search, which finds zero gain).
+            self._root = _TreeNode(value=float(targets[0]))
+        else:
+            self._root = self._grow(features, targets, depth=0)
+        self._flat = None
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:
-        """Predict targets for ``features`` (n x d)."""
+        """Predict targets for ``features`` (n x d), batched over all rows.
+
+        Traversal is vectorised: the fitted tree is flattened into node
+        arrays once, then the whole batch is routed level by level, so the
+        cost is ``O(depth)`` numpy passes instead of a Python walk per row.
+        The routing comparisons are the same ``row[feature] <= threshold``
+        the scalar walk performs, so results are bit-identical to
+        :meth:`_predict_row`.
+        """
         if self._root is None:
             raise PredictionError("RegressionTree.predict called before fit")
         features = np.asarray(features, dtype=float)
         if features.ndim != 2:
             raise PredictionError("features must be a 2-D array")
-        return np.array([self._predict_row(row) for row in features], dtype=float)
+        feature_ids, thresholds, lefts, rights, values = self._flatten()
+        nodes = np.zeros(features.shape[0], dtype=np.intp)
+        while True:
+            node_features = feature_ids[nodes]
+            internal = node_features >= 0
+            if not internal.any():
+                break
+            rows = np.nonzero(internal)[0]
+            current = nodes[rows]
+            go_left = features[rows, node_features[rows]] <= thresholds[current]
+            nodes[rows] = np.where(go_left, lefts[current], rights[current])
+        return values[nodes].copy()
 
     # -- internals --------------------------------------------------------------
+    def _flatten(self) -> tuple:
+        """Node arrays ``(feature, threshold, left, right, value)`` of the tree.
+
+        Leaves carry feature ``-1``.  Built lazily and cached; ``getattr``
+        keeps trees pickled before this attribute existed loadable.
+        """
+        flat = getattr(self, "_flat", None)
+        if flat is not None:
+            return flat
+        feature_ids: list = []
+        thresholds: list = []
+        lefts: list = []
+        rights: list = []
+        values: list = []
+
+        def add(node: _TreeNode) -> int:
+            index = len(feature_ids)
+            feature_ids.append(-1 if node.is_leaf else node.feature)
+            thresholds.append(node.threshold)
+            lefts.append(0)
+            rights.append(0)
+            values.append(node.value)
+            if not node.is_leaf:
+                lefts[index] = add(node.left)
+                rights[index] = add(node.right)
+            return index
+
+        add(self._root)
+        self._flat = (
+            np.asarray(feature_ids, dtype=np.intp),
+            np.asarray(thresholds, dtype=float),
+            np.asarray(lefts, dtype=np.intp),
+            np.asarray(rights, dtype=np.intp),
+            np.asarray(values, dtype=float),
+        )
+        return self._flat
+
     def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int) -> _TreeNode:
         node = _TreeNode(value=float(targets.mean()))
         if depth >= self.max_depth or targets.size < 2 * self.min_samples_leaf:
@@ -87,36 +152,60 @@ class RegressionTree:
         return node
 
     def _best_split(self, features: np.ndarray, targets: np.ndarray):
+        """Exact greedy split, scanned with numpy per feature.
+
+        Semantics match the original per-candidate Python loop exactly: the
+        candidate scores are the same IEEE-754 expressions evaluated
+        elementwise, strict ``>`` against the running best keeps the
+        *earliest* feature and the *earliest* split position on ties, and
+        candidates between equal adjacent values are skipped.
+        """
         best_gain = 1e-12
         best = None
         total_sum = targets.sum()
         total_count = targets.size
         parent_score = total_sum * total_sum / total_count
+        # Candidate split after position k keeps k+1 samples on the left.
+        positions = np.arange(self.min_samples_leaf - 1, total_count - self.min_samples_leaf)
+        if positions.size == 0:
+            return None
+        left_counts = positions + 1
+        right_counts = total_count - left_counts
         for feature in range(features.shape[1]):
             order = np.argsort(features[:, feature], kind="stable")
             sorted_values = features[order, feature]
             sorted_targets = targets[order]
             cumulative = np.cumsum(sorted_targets)
-            # Candidate split after position k keeps k+1 samples on the left.
-            for k in range(self.min_samples_leaf - 1, total_count - self.min_samples_leaf):
-                if sorted_values[k] == sorted_values[k + 1]:
-                    continue
-                left_count = k + 1
-                right_count = total_count - left_count
-                left_sum = cumulative[k]
-                right_sum = total_sum - left_sum
-                score = left_sum**2 / left_count + right_sum**2 / right_count
-                gain = score - parent_score
-                if gain > best_gain:
-                    best_gain = gain
-                    best = (feature, float((sorted_values[k] + sorted_values[k + 1]) / 2))
+            valid = sorted_values[positions] != sorted_values[positions + 1]
+            if not valid.any():
+                continue
+            left_sums = cumulative[positions]
+            right_sums = total_sum - left_sums
+            scores = left_sums**2 / left_counts + right_sums**2 / right_counts
+            gains = np.where(valid, scores - parent_score, -np.inf)
+            winner = int(np.argmax(gains))
+            if gains[winner] > best_gain:
+                best_gain = gains[winner]
+                k = int(positions[winner])
+                best = (feature, float((sorted_values[k] + sorted_values[k + 1]) / 2))
         return best
 
     def _predict_row(self, row: np.ndarray) -> float:
+        """Scalar reference walk (kept as the benchmark baseline for
+        :meth:`predict`; both must agree bit for bit)."""
         node = self._root
         while not node.is_leaf:
             node = node.left if row[node.feature] <= node.threshold else node.right
         return node.value
+
+    def predict_rowwise(self, features: np.ndarray) -> np.ndarray:
+        """Row-by-row prediction via :meth:`_predict_row` (reference path)."""
+        if self._root is None:
+            raise PredictionError("RegressionTree.predict called before fit")
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise PredictionError("features must be a 2-D array")
+        return np.array([self._predict_row(row) for row in features], dtype=float)
 
 
 class GradientBoostedTrees:
@@ -195,6 +284,22 @@ class GradientBoostedTrees:
         predictions = np.full(features.shape[0], self._base_prediction)
         for tree in self._trees:
             predictions = predictions + self.learning_rate * tree.predict(features)
+        return predictions
+
+    def predict_rowwise(self, features: np.ndarray) -> np.ndarray:
+        """Ensemble prediction through the per-row tree walk (reference path).
+
+        Same numbers as :meth:`predict`; kept so benchmarks and tests can
+        compare the vectorised traversal against the scalar walk.
+        """
+        if not self.is_fitted:
+            raise PredictionError("GradientBoostedTrees.predict called before fit")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[None, :]
+        predictions = np.full(features.shape[0], self._base_prediction)
+        for tree in self._trees:
+            predictions = predictions + self.learning_rate * tree.predict_rowwise(features)
         return predictions
 
     def score(self, features: np.ndarray, targets: np.ndarray) -> float:

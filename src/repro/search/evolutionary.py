@@ -52,13 +52,21 @@ class GenerationStats:
 
 @dataclass(frozen=True)
 class SearchResult:
-    """Everything the search produced."""
+    """Everything the search produced.
+
+    ``surrogate`` carries the
+    :class:`~repro.engine.surrogate.SurrogateReport` of a
+    surrogate-assisted run and is ``None`` for a pure-oracle search (typed
+    loosely to avoid a circular import; results pickled before the field
+    existed read back as ``None`` via ``getattr``).
+    """
 
     history: Tuple[EvaluatedConfig, ...]
     feasible: Tuple[EvaluatedConfig, ...]
     pareto: Tuple[EvaluatedConfig, ...]
     best: EvaluatedConfig
     generations: Tuple[GenerationStats, ...]
+    surrogate: Optional[object] = None
 
     @property
     def num_evaluations(self) -> int:

@@ -1,0 +1,142 @@
+"""Golden-file regression pin of surrogate-accelerated campaign bytes.
+
+The surrogate path must be exactly as deterministic as the pure-oracle
+campaign: one seed renders the same ``surrogate_summary`` bytes through the
+serial path, the process evaluation backend, the cell-parallel runner and a
+checkpoint resume.  A surrogate whose settings changed since the checkpoint
+was written re-runs the affected cells instead of restoring stale results.
+
+To regenerate after an *intentional* change::
+
+    PYTHONPATH=src python tests/test_campaign_surrogate_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.core.report import surrogate_summary
+from repro.engine.surrogate import SurrogateSettings
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "surrogate_summary_golden.txt"
+
+GRID = ("jetson-agx-xavier", "mobile-big-little")
+SEED = 0
+BUDGET = dict(generations=10, population_size=6)
+SURROGATE = SurrogateSettings(
+    bootstrap_generations=2,
+    validate_every=3,
+    validation_cap=4,
+    min_training_rows=8,
+)
+
+
+def _tiny_network():
+    # Mirrors the conftest fixture; duplicated so --regenerate works as a
+    # plain script outside pytest.
+    from repro.nn.graph import NetworkGraph
+    from repro.nn.layers import (
+        AttentionLayer,
+        Conv2dLayer,
+        FeedForwardLayer,
+        LinearLayer,
+    )
+
+    layers = (
+        Conv2dLayer(
+            name="conv1",
+            width=16,
+            in_width=3,
+            kernel_size=3,
+            stride=1,
+            in_spatial=(8, 8),
+            out_spatial=(8, 8),
+        ),
+        AttentionLayer(name="attn", width=32, in_width=16, tokens=16, num_heads=4),
+        FeedForwardLayer(name="mlp", width=32, in_width=32, tokens=16, expansion=2.0),
+        LinearLayer(name="head", width=10, in_width=32, tokens=1),
+    )
+    return NetworkGraph(
+        name="tiny",
+        layers=layers,
+        input_shape=(3, 8, 8),
+        num_classes=10,
+        base_accuracy=0.9,
+        family="vit",
+    )
+
+
+def _render(**overrides) -> str:
+    network = overrides.pop("network", None) or _tiny_network()
+    surrogate = overrides.pop("surrogate", SURROGATE)
+    campaign = run_campaign(
+        network, GRID, seed=SEED, surrogate=surrogate, **BUDGET, **overrides
+    )
+    return surrogate_summary(campaign) + "\n"
+
+
+@pytest.fixture(scope="module")
+def golden() -> str:
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing — regenerate with "
+        f"`PYTHONPATH=src python {Path(__file__).name} --regenerate`"
+    )
+    return GOLDEN_PATH.read_text(encoding="utf-8")
+
+
+def test_serial_path_matches_golden(tiny_network, golden):
+    assert _render(network=tiny_network) == golden
+
+
+def test_process_backend_matches_golden(tiny_network, golden):
+    assert _render(network=tiny_network, backend="process", n_workers=2) == golden
+
+
+def test_cell_parallel_matches_golden(tiny_network, golden):
+    assert _render(network=tiny_network, cell_workers=2) == golden
+
+
+def test_checkpoint_resume_matches_golden(tiny_network, golden, tmp_path):
+    first = _render(network=tiny_network, checkpoint_dir=tmp_path)
+    resumed = _render(network=tiny_network, checkpoint_dir=tmp_path)
+    assert first == golden
+    assert resumed == golden
+
+
+def test_stale_surrogate_settings_rerun_cells(tiny_network, golden, tmp_path):
+    # A checkpoint written under different surrogate settings must not be
+    # restored into this campaign: the affected cells re-run, so the render
+    # matches a fresh run byte-for-byte instead of replaying stale results.
+    stale = SurrogateSettings(
+        bootstrap_generations=3,
+        validate_every=3,
+        validation_cap=4,
+        min_training_rows=8,
+    )
+    stale_render = _render(network=tiny_network, surrogate=stale, checkpoint_dir=tmp_path)
+    assert stale_render != golden
+    assert _render(network=tiny_network, checkpoint_dir=tmp_path) == golden
+
+
+def test_oracle_campaign_unaffected_by_surrogate_checkpoint(tiny_network, tmp_path):
+    from repro.core.report import campaign_summary
+
+    _render(network=tiny_network, checkpoint_dir=tmp_path)
+    plain = run_campaign(tiny_network, GRID, seed=SEED, **BUDGET)
+    resumed = run_campaign(
+        tiny_network, GRID, seed=SEED, checkpoint_dir=tmp_path, **BUDGET
+    )
+    assert campaign_summary(resumed) == campaign_summary(plain)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" not in sys.argv:
+        sys.exit("pass --regenerate to overwrite the golden file")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(_render(), encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")

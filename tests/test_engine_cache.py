@@ -169,6 +169,43 @@ class TestEvaluationCache:
         cache.store(digest, value)
         assert len((tmp_path / "cache.jsonl").read_text(encoding="utf-8").splitlines()) == 1
 
+    def test_get_many_counts_one_pass(self, evaluated_pair):
+        (digest_a, value_a), (digest_b, _) = evaluated_pair
+        cache = EvaluationCache()
+        cache.store(digest_a, value_a)
+        found = cache.get_many([digest_a, digest_b, digest_a])
+        assert found == {digest_a: value_a}
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.lookups == 3
+
+    def test_get_many_of_nothing_is_empty(self):
+        cache = EvaluationCache()
+        assert cache.get_many([]) == {}
+        assert cache.stats.lookups == 0
+
+    def test_store_many_skips_existing_and_persists_new(self, evaluated_pair, tmp_path):
+        (digest_a, value_a), (digest_b, value_b) = evaluated_pair
+        path = tmp_path / "cache.jsonl"
+        cache = EvaluationCache(path=path)
+        cache.store(digest_a, value_a)
+        cache.store_many([(digest_a, value_a), (digest_b, value_b)])
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 2
+        assert cache.peek(digest_b) is value_b
+
+    def test_store_many_rejects_foreign_values(self, evaluated_pair):
+        (digest, _), _ = evaluated_pair
+        cache = EvaluationCache()
+        with pytest.raises(ConfigurationError):
+            cache.store_many([(digest, "not an EvaluatedConfig")])
+
+    def test_items_iterates_without_stats(self, evaluated_pair):
+        cache = EvaluationCache()
+        for digest, value in evaluated_pair:
+            cache.store(digest, value)
+        assert dict(cache.items()) == {digest: value for digest, value in evaluated_pair}
+        assert cache.stats.lookups == 0
+
 
 class TestPersistence:
     def test_round_trip(self, evaluated_pair, tmp_path):

@@ -1,0 +1,213 @@
+"""Tests for the surrogate-accelerated search subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import MapAndConquer
+from repro.engine.cache import EvaluationCache
+from repro.engine.strategies import EvolutionaryStrategy
+from repro.engine.surrogate import (
+    SurrogateAssistedStrategy,
+    SurrogateEvaluationBackend,
+    SurrogateObjective,
+    SurrogatePrediction,
+    SurrogateReport,
+    SurrogateSettings,
+    _spearman,
+)
+from repro.errors import ConfigurationError
+from repro.search.constraints import SearchConstraints
+from repro.search.objectives import paper_objective
+from repro.search.pareto import pareto_front
+
+#: Small enough to run in seconds, large enough that the surrogate phase
+#: actually engages (two bootstrap generations of six feed eight rows).
+SURROGATE = SurrogateSettings(
+    bootstrap_generations=2,
+    validate_every=3,
+    validation_cap=4,
+    min_training_rows=8,
+)
+BUDGET = dict(generations=8, population_size=6)
+
+
+@pytest.fixture()
+def framework(tiny_network, platform):
+    return MapAndConquer(tiny_network, platform, seed=0)
+
+
+def _prediction(latency=1.0, energy=2.0, accuracy=0.8, objective=3.0, config=None):
+    return SurrogatePrediction(
+        config=config,
+        latency_ms=latency,
+        energy_mj=energy,
+        accuracy=accuracy,
+        worst_case_latency_ms=latency * 2,
+        worst_case_energy_mj=energy * 2,
+        reuse_fraction=0.5,
+        stored_feature_bytes=1024,
+        base_accuracy=0.9,
+        objective_value=objective,
+    )
+
+
+class TestSettings:
+    def test_defaults_valid(self):
+        SurrogateSettings()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(bootstrap_generations=0),
+            dict(validate_every=0),
+            dict(validation_cap=0),
+            dict(min_training_rows=1),
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SurrogateSettings(**kwargs)
+
+
+class TestPrediction:
+    def test_duck_types_evaluated_config(self):
+        prediction = _prediction()
+        assert prediction.accuracy_drop == pytest.approx(0.1)
+        # Constraint checks read the same attribute names the oracle results
+        # carry, so predictions flow through feasibility filtering unchanged.
+        constraints = SearchConstraints(latency_target_ms=3.0, max_accuracy_drop=0.2)
+        assert constraints.is_feasible(prediction)
+        tight = SearchConstraints(latency_target_ms=1.0)
+        assert not tight.is_feasible(prediction)
+
+    def test_sorts_through_pareto_front(self):
+        good = _prediction(latency=1.0, energy=1.0, accuracy=0.9)
+        dominated = _prediction(latency=2.0, energy=2.0, accuracy=0.8)
+        front = pareto_front([dominated, good])
+        assert front == [good]
+
+    def test_objective_dispatch(self):
+        wrapper = SurrogateObjective(paper_objective)
+        assert wrapper(_prediction(objective=42.0)) == 42.0
+
+
+class TestSpearman:
+    def test_perfect_and_reversed(self):
+        assert _spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert _spearman([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_ties_use_average_ranks(self):
+        value = _spearman([1.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert -1.0 < value < 1.0
+
+    def test_degenerate_inputs(self):
+        assert _spearman([], []) == 0.0
+        assert _spearman([1.0], [2.0]) == 1.0
+        assert _spearman([1.0, 1.0], [1.0, 2.0]) == 0.0
+
+
+class TestFrameworkSearch:
+    def test_rejects_bad_surrogate_argument(self, framework):
+        with pytest.raises(ConfigurationError):
+            framework.search(**BUDGET, surrogate="yes please")
+
+    def test_rejects_strategy_instances(self, framework):
+        strategy = EvolutionaryStrategy(
+            space=framework.space, population_size=6, generations=4, seed=0
+        )
+        with pytest.raises(ConfigurationError):
+            framework.search(strategy=strategy, surrogate=SURROGATE)
+
+    def test_plain_search_has_no_report(self, framework):
+        result = framework.search(**BUDGET, seed=0)
+        assert result.surrogate is None
+
+    def test_surrogate_search_reports_and_saves_oracle_calls(self, framework):
+        baseline = framework.search(**BUDGET, seed=0)
+        result = framework.search(**BUDGET, seed=0, surrogate=SURROGATE)
+        report = result.surrogate
+        assert isinstance(report, SurrogateReport)
+        assert report.oracle_evaluations == result.num_evaluations
+        assert report.oracle_evaluations < baseline.num_evaluations
+        assert report.surrogate_evaluations > 0
+        assert report.throughput_multiplier > 1.0
+        assert report.validations >= 1
+        assert report.settings == SURROGATE
+        # The result's history contains exclusively oracle evaluations.
+        assert all(
+            not isinstance(item, SurrogatePrediction) for item in result.history
+        )
+
+    def test_deterministic_across_runs_and_backends(self, tiny_network, platform):
+        def run(backend):
+            framework = MapAndConquer(tiny_network, platform, seed=0)
+            result = framework.search(
+                **BUDGET, seed=0, surrogate=SURROGATE, backend=backend
+            )
+            return (
+                [
+                    (item.latency_ms, item.energy_mj, item.accuracy)
+                    for item in result.history
+                ],
+                result.surrogate,
+            )
+
+        serial_history, serial_report = run("serial")
+        repeat_history, repeat_report = run("serial")
+        assert serial_history == repeat_history
+        assert serial_report == repeat_report
+        process_history, process_report = run("process")
+        assert process_history == serial_history
+        assert process_report == serial_report
+
+
+class TestBackend:
+    def test_rejects_non_backend_inner(self, framework):
+        with pytest.raises(ConfigurationError):
+            SurrogateEvaluationBackend(
+                inner="nope",
+                evaluator=framework.evaluator,
+                settings=SURROGATE,
+                objective=paper_objective,
+            )
+
+    def test_harvest_ignores_foreign_entries(self, framework):
+        space = framework.space
+        evaluator = framework.evaluator
+        config = space.sample(0)
+        evaluated = evaluator.evaluate(config)
+        cache = EvaluationCache()
+        cache.store(evaluator.content_digest(config), evaluated)
+        # A cache row stored under a digest the evaluator does not reproduce
+        # (e.g. another platform's entry) must not train this model.
+        cache.store("deadbeef" * 8, evaluated)
+        backend = SurrogateEvaluationBackend(
+            inner=framework._build_backend(None, None)[0],
+            evaluator=evaluator,
+            settings=SURROGATE,
+            objective=paper_objective,
+        )
+        assert backend.harvest(cache) == 1
+        assert len(backend.model) == 1
+
+
+class TestStrategyProtocol:
+    def test_tell_without_ask_rejected(self, framework):
+        inner = EvolutionaryStrategy(
+            space=framework.space, population_size=6, generations=4, seed=0
+        )
+        backend = SurrogateEvaluationBackend(
+            inner=framework._build_backend(None, None)[0],
+            evaluator=framework.evaluator,
+            settings=SURROGATE,
+            objective=paper_objective,
+        )
+        strategy = SurrogateAssistedStrategy(
+            inner=inner,
+            backend=backend,
+            settings=SURROGATE,
+            objective=paper_objective,
+        )
+        with pytest.raises(ConfigurationError):
+            strategy.tell([])

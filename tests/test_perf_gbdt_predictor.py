@@ -61,6 +61,11 @@ class TestRegressionTree:
         tree = RegressionTree().fit(features, targets)
         assert np.allclose(tree.predict(features), 3.5)
 
+    def test_vectorised_predict_matches_rowwise(self, synthetic_regression):
+        features, targets = synthetic_regression
+        tree = RegressionTree(max_depth=5, min_samples_leaf=2).fit(features, targets)
+        np.testing.assert_array_equal(tree.predict(features), tree.predict_rowwise(features))
+
 
 class TestGradientBoostedTrees:
     def test_outperforms_single_tree(self, synthetic_regression):
@@ -118,6 +123,27 @@ class TestGradientBoostedTrees:
         assert not model.is_fitted
         model.fit(features, targets)
         assert model.is_fitted
+
+    def test_constant_target_yields_constant_prediction(self):
+        # A constant column must short-circuit to a constant predictor: no
+        # degenerate splits, no NaN from zero-variance residuals.
+        rng = np.random.default_rng(0)
+        features = rng.uniform(size=(40, 3))
+        model = GradientBoostedTrees(n_estimators=25, seed=0).fit(
+            features, np.full(40, -2.25)
+        )
+        predictions = model.predict(rng.uniform(size=(8, 3)))
+        assert np.all(np.isfinite(predictions))
+        assert np.allclose(predictions, -2.25)
+
+    def test_vectorised_predict_matches_rowwise(self, synthetic_regression):
+        features, targets = synthetic_regression
+        model = GradientBoostedTrees(n_estimators=40, max_depth=4, seed=0).fit(
+            features, targets
+        )
+        np.testing.assert_array_equal(
+            model.predict(features[:128]), model.predict_rowwise(features[:128])
+        )
 
 
 class TestBenchmarkDataset:
