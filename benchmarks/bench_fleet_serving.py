@@ -1,0 +1,205 @@
+"""Fleet campaigns: heterogeneous mixes beat homogeneous fleets on joules.
+
+The headline claim of the fleet layer: under a diurnal daily load, a
+heterogeneous fleet (one fast board for the peak + one frugal board for the
+trough) serves within the p99 SLO at **strictly lower total joules** than
+every homogeneous fleet of the same instance count.  The bench constructs
+the regime deliberately:
+
+* a ``derive()``-scaled *eco* Xavier (25 % throughput at 10 % power) is far
+  cheaper per request, but a pair of them saturates at the diurnal peak —
+  its p99 explodes and the SLO is lost;
+* a pair of stock Xaviers holds the SLO trivially but burns the full static
+  draw of two big boards all day;
+* the mixed fleet routes the peak to the stock board and the valley to the
+  eco board, holding the SLO at lower total joules than the stock pair.
+
+Asserted: the heterogeneous mix is within the SLO, every homogeneous
+within-SLO fleet burns strictly more joules, the eco pair is the proof that
+"just go frugal" fails (SLO miss), and the campaign's ``best_mix`` crowns
+the heterogeneous fleet.  A second bench times the fleet simulator itself.
+Both emit into ``BENCH_fleet.json`` (campaign joules + simulated requests/s
+and router overhead) via :mod:`perf_trajectory`.
+
+``REPRO_FLEET_SMOKE=1`` shrinks budgets for the CI smoke step without
+changing any assertion.
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_fleet_serving.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from perf_trajectory import emit, load
+
+from repro.campaign import FleetMix, run_fleet_campaign
+from repro.core.report import fleet_summary
+from repro.nn.models import visformer
+from repro.serving import (
+    Deployment,
+    FleetInstance,
+    PoissonArrivals,
+    simulate_deployment,
+    simulate_fleet,
+)
+from repro.serving.families import DiurnalFamily
+from repro.soc.presets import derive, get_platform
+
+SMOKE = os.environ.get("REPRO_FLEET_SMOKE", "") == "1"
+
+GENERATIONS = 3 if SMOKE else 5
+POPULATION = 8 if SMOKE else 12
+MEMBERS = 2 if SMOKE else 3
+DURATION_MS = 3000.0 if SMOKE else 6000.0
+SEED = 0
+P99_SLO_MS = 150.0
+
+#: The scaled day: load swings 10:1 between peak and trough.
+DAILY = DiurnalFamily(peak_rps=90.0, trough_fraction=0.1, period_ms=1500.0)
+
+
+def _merge_emit(metrics: dict) -> None:
+    """Fold ``metrics`` into ``BENCH_fleet.json`` without losing prior keys."""
+    previous = load("fleet") or {}
+    previous.update(metrics)
+    emit("fleet", previous)
+
+
+def test_heterogeneous_fleet_wins_on_joules(save_table):
+    eco = derive(
+        get_platform("jetson-agx-xavier"),
+        "xavier-eco",
+        gflops_scale=0.25,
+        power_scale=0.10,
+    )
+    mixes = (
+        FleetMix(name="stock-pair", counts=(("jetson-agx-xavier", 2),)),
+        FleetMix(name="eco-pair", counts=((eco, 2),)),
+        FleetMix(
+            name="hetero",
+            counts=(("jetson-agx-xavier", 1), (eco, 1)),
+            router="least-loaded",
+        ),
+    )
+    fleet = run_fleet_campaign(
+        visformer(),
+        mixes,
+        families=(DAILY,),
+        members_per_family=MEMBERS,
+        duration_ms=DURATION_MS,
+        p99_slo_ms=P99_SLO_MS,
+        generations=GENERATIONS,
+        population_size=POPULATION,
+        seed=SEED,
+    )
+    summary = fleet_summary(fleet)
+    print(summary)
+    save_table("fleet_serving", summary)
+
+    hetero = fleet.cell("hetero", DAILY.name)
+    assert hetero.within_slo, (
+        "the heterogeneous fleet must hold the p99 SLO over the whole day:\n"
+        + summary
+    )
+
+    # "Just go frugal" fails: the eco pair saturates at the diurnal peak.
+    eco_cell = fleet.cell("eco-pair", DAILY.name)
+    assert not eco_cell.within_slo, (
+        "the eco pair should lose the SLO at the diurnal peak:\n" + summary
+    )
+
+    # Every homogeneous fleet that *does* hold the SLO burns strictly more.
+    for name in ("stock-pair", "eco-pair"):
+        cell = fleet.cell(name, DAILY.name)
+        if cell.within_slo:
+            assert hetero.total_joules < cell.total_joules, (
+                f"heterogeneous fleet must undercut {name} on joules:\n" + summary
+            )
+    assert fleet.best_mix(DAILY.name) == "hetero", summary
+
+    stock = fleet.cell("stock-pair", DAILY.name)
+    _merge_emit(
+        {
+            "hetero_daily_mj_per_1m_requests": round(hetero.daily_joules() / 1e6, 4),
+            "hetero_total_joules": round(hetero.total_joules, 3),
+            "stock_pair_total_joules": round(stock.total_joules, 3),
+            "joules_savings_vs_stock_pair": round(
+                1.0 - hetero.total_joules / stock.total_joules, 4
+            ),
+            "smoke": SMOKE,
+        }
+    )
+
+
+def test_fleet_simulator_throughput_and_router_overhead(save_table):
+    # Timing rig: a deliberately simple deterministic deployment so the
+    # numbers measure the event loop + router, not the search.
+    platform = get_platform("jetson-agx-xavier")
+    deployment = Deployment(
+        name="bench",
+        unit_names=("gpu", "dla0"),
+        service_ms=(4.0, 9.0),
+        energy_mj=(30.0, 12.0),
+        stage_accuracies=(0.6, 0.9),
+        dvfs_scales=(1.0, 1.0),
+    )
+    rate = 150.0 if SMOKE else 300.0
+    window_ms = 20_000.0 if SMOKE else 40_000.0
+    workload = PoissonArrivals(rate).generate(duration_ms=window_ms, seed=1)
+    trio = tuple(
+        FleetInstance(name=f"node-{i}", platform=platform, deployment=deployment)
+        for i in range(3)
+    )
+
+    start = time.perf_counter()
+    result = simulate_fleet(trio, workload, router="least-loaded", seed=1)
+    fleet_elapsed = time.perf_counter() - start
+    served = result.num_requests
+    fleet_rps = served / fleet_elapsed
+
+    # Router overhead: a fleet of one replays the identical stream through
+    # the identical event loop, plus the routing pass — the per-request
+    # delta is what the fleet layer costs.
+    solo_workload = PoissonArrivals(rate / 3.0).generate(
+        duration_ms=window_ms, seed=2
+    )
+    start = time.perf_counter()
+    solo_fleet = simulate_fleet(
+        trio[:1], solo_workload, router="round-robin", seed=2
+    )
+    solo_fleet_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    simulate_deployment(deployment, platform, solo_workload, seed=2)
+    solo_direct_elapsed = time.perf_counter() - start
+    per_request_overhead_us = (
+        1e6
+        * max(0.0, solo_fleet_elapsed - solo_direct_elapsed)
+        / max(1, solo_fleet.num_requests)
+    )
+
+    assert served > 1000, "timing window too small to be meaningful"
+    assert fleet_rps > 1000.0, (
+        f"fleet simulator should sustain >1k simulated requests/s, "
+        f"got {fleet_rps:.0f}"
+    )
+
+    report = "\n".join(
+        [
+            f"fleet simulator: {served} requests in {fleet_elapsed * 1e3:.1f} ms "
+            f"({fleet_rps:,.0f} simulated req/s on 3 instances)",
+            f"fleet-layer overhead: {per_request_overhead_us:.1f} us/request "
+            f"(fleet-of-1 vs direct simulate_deployment)",
+        ]
+    )
+    print(report)
+    save_table("fleet_simulator_perf", report)
+
+    _merge_emit(
+        {
+            "simulated_requests_per_s": round(fleet_rps, 1),
+            "requests_timed": served,
+            "router_overhead_us_per_request": round(per_request_overhead_us, 2),
+        }
+    )

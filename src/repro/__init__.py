@@ -43,14 +43,19 @@ Quickstart::
 from .campaign import (
     CampaignResult,
     CampaignScenario,
+    FleetCampaignResult,
+    FleetMix,
     ServingCampaignResult,
     run_campaign,
+    run_fleet_campaign,
     run_serving_campaign,
 )
 from .core.framework import MapAndConquer
 from .core.report import (
     campaign_summary,
     campaign_table,
+    fleet_summary,
+    fleet_table,
     format_table,
     serving_campaign_table,
     surrogate_summary,
@@ -110,6 +115,11 @@ __all__ = [
     "run_serving_campaign",
     "serving_campaign_table",
     "traffic_ranking_summary",
+    "FleetMix",
+    "FleetCampaignResult",
+    "run_fleet_campaign",
+    "fleet_table",
+    "fleet_summary",
     "family_names",
     "get_family",
     "default_families",

@@ -18,15 +18,30 @@ mappings are:
 * :mod:`repro.campaign.serving_runner` -- :func:`run_serving_campaign`, the
   serving layer on top: every front deployed under every member of every
   workload family (:mod:`repro.serving.families`) and the platforms ranked
-  by served-p99-per-joule — "which platform should serve this traffic?".
+  by served-p99-per-joule — "which platform should serve this traffic?",
+* :mod:`repro.campaign.fleet_runner` -- :func:`run_fleet_campaign`, the
+  fleet layer above that: heterogeneous fleet *mixes* (platform counts x
+  front-point choice x router x autoscaler, :mod:`repro.serving.fleet`)
+  swept under daily workload families and ranked by served joules within a
+  p99 SLO — "which fleet should serve this traffic?".
 
 Surfaced on the facade as :meth:`repro.core.framework.MapAndConquer.campaign`
-/ :meth:`~repro.core.framework.MapAndConquer.serving_campaign` and rendered
+/ :meth:`~repro.core.framework.MapAndConquer.serving_campaign` /
+:meth:`~repro.core.framework.MapAndConquer.fleet_campaign` and rendered
 by :func:`repro.core.report.campaign_summary` /
-:func:`repro.core.report.traffic_ranking_summary`.
+:func:`repro.core.report.traffic_ranking_summary` /
+:func:`repro.core.report.fleet_summary`.
 """
 
 from .checkpoint import CampaignCheckpoint, CellExpectation, campaign_fingerprint
+from .fleet_runner import (
+    FleetCampaignResult,
+    FleetCellResult,
+    FleetMemberOutcome,
+    FleetMix,
+    run_fleet_campaign,
+    select_front_point,
+)
 from .portability import count_surviving_on_front, translate_config, translate_front
 from .runner import (
     CampaignCell,
@@ -58,4 +73,10 @@ __all__ = [
     "ServingCellResult",
     "ServingCampaignResult",
     "run_serving_campaign",
+    "FleetMix",
+    "FleetMemberOutcome",
+    "FleetCellResult",
+    "FleetCampaignResult",
+    "select_front_point",
+    "run_fleet_campaign",
 ]

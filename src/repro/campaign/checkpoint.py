@@ -9,8 +9,8 @@ the originals, so a resumed campaign renders a
 :func:`repro.core.report.campaign_summary` byte-identical to an
 uninterrupted run.
 
-The file holds two record *kinds* side by side (older files, written before
-the field existed, are read as ``search``):
+The file holds three record *kinds* side by side (older files, written
+before the field existed, are read as ``search``):
 
 * ``search`` — one ``(platform, scenario)`` search cell carrying a
   :class:`~repro.search.evolutionary.SearchResult`
@@ -19,7 +19,14 @@ the field existed, are read as ``search``):
   :func:`repro.campaign.serving_runner.run_serving_campaign`, carrying a
   :class:`~repro.campaign.serving_runner.ServingCellResult`
   (:meth:`CampaignCheckpoint.store_serving` /
-  :meth:`CampaignCheckpoint.load_serving`).
+  :meth:`CampaignCheckpoint.load_serving`);
+* ``fleet`` — one ``(mix, family)`` fleet cell of a
+  :func:`repro.campaign.fleet_runner.run_fleet_campaign`, carrying a
+  :class:`~repro.campaign.fleet_runner.FleetCellResult`
+  (:meth:`CampaignCheckpoint.store_fleet` /
+  :meth:`CampaignCheckpoint.load_fleet`).  Fleet cells follow the serving
+  refresh discipline: a fingerprint mismatch (edited mix, re-searched
+  fronts, changed replay budget) drops the cell for re-running.
 
 Safety model
 ------------
@@ -71,7 +78,7 @@ __all__ = [
     "CellExpectation",
     "CheckpointStats",
     "campaign_fingerprint",
-]
+]  # CellKey/ServingCellKey/FleetCellKey are type aliases, importable directly
 
 logger = logging.getLogger(__name__)
 
@@ -83,6 +90,16 @@ CellKey = Tuple[str, str]
 
 #: A serving cell's identity within one serving campaign: (platform, family).
 ServingCellKey = Tuple[str, str]
+
+#: A fleet cell's identity within one fleet campaign: (mix, family).
+FleetCellKey = Tuple[str, str]
+
+#: The two JSON fields forming each kind's cell key, in key order.
+_KEY_FIELDS = {
+    "search": ("platform", "scenario"),
+    "serving": ("platform", "family"),
+    "fleet": ("mix", "family"),
+}
 
 
 def campaign_fingerprint(**fields: object) -> str:
@@ -235,10 +252,45 @@ class CampaignCheckpoint:
         """
         from .serving_runner import ServingCellResult  # local: runner imports us
 
-        restored: Dict[ServingCellKey, object] = {}
+        return self._load_refreshable(
+            "serving",
+            expected,
+            ServingCellResult,
+            "family definition, replay budget or deployed front",
+        )
+
+    def load_fleet(
+        self, expected: Mapping[FleetCellKey, CellExpectation]
+    ) -> Dict[FleetCellKey, object]:
+        """Restore every completed fleet cell of the current sweep.
+
+        ``expected`` maps each ``(mix, family)`` key of the *current* sweep
+        to its fingerprint (mix definition, family, replay budget and the
+        deployed fronts).  Same refresh discipline as serving cells: a
+        fingerprint mismatch drops the cell for re-running, unknown keys are
+        stale, a wrong seed raises.
+        """
+        from .fleet_runner import FleetCellResult  # local: runner imports us
+
+        return self._load_refreshable(
+            "fleet",
+            expected,
+            FleetCellResult,
+            "mix definition, family, replay budget or deployed fronts",
+        )
+
+    def _load_refreshable(
+        self,
+        kind: str,
+        expected: Mapping[Tuple[str, str], CellExpectation],
+        expected_type: type,
+        refresh_reason: str,
+    ) -> Dict[Tuple[str, str], object]:
+        """Shared loader of the refresh-on-mismatch kinds (serving, fleet)."""
+        restored: Dict[Tuple[str, str], object] = {}
         self.stats = CheckpointStats()
         mismatched = set()
-        for record, fingerprint, key in self._iter_records("serving"):
+        for record, fingerprint, key in self._iter_records(kind):
             expectation = expected.get(key)
             if expectation is None:
                 self.stats.stale += 1
@@ -246,7 +298,7 @@ class CampaignCheckpoint:
             if fingerprint != expectation.fingerprint:
                 mismatched.add(key)
                 continue
-            result = self._decode_payload(record, ServingCellResult)
+            result = self._decode_payload(record, expected_type)
             if result is not None:
                 restored[key] = result
         self.stats.restored = len(restored)
@@ -255,18 +307,20 @@ class CampaignCheckpoint:
         self.stats.refreshed = len(mismatched - set(restored))
         if self.stats.malformed:
             logger.warning(
-                "campaign checkpoint %s: restored %d serving cells, skipped %d "
+                "campaign checkpoint %s: restored %d %s cells, skipped %d "
                 "malformed lines (expected after an interrupted write)",
                 self.path,
                 self.stats.restored,
+                kind,
                 self.stats.malformed,
             )
         if self.stats.refreshed:
             logger.info(
-                "campaign checkpoint %s: re-running %d serving cells whose family "
-                "definition, replay budget or deployed front changed",
+                "campaign checkpoint %s: re-running %d %s cells whose %s changed",
                 self.path,
                 self.stats.refreshed,
+                kind,
+                refresh_reason,
             )
         return restored
 
@@ -277,7 +331,7 @@ class CampaignCheckpoint:
         lines are skipped (and counted), records of other kinds are ignored,
         and a foreign seed raises before any payload is touched.
         """
-        key_field = "scenario" if kind == "search" else "family"
+        first_field, second_field = _KEY_FIELDS[kind]
         if not self.path.exists():
             return
         with self.path.open("r", encoding="utf-8") as stream:
@@ -294,7 +348,7 @@ class CampaignCheckpoint:
                         continue
                     seed = int(record["seed"])
                     fingerprint = str(record["fingerprint"])
-                    key = (str(record["platform"]), str(record[key_field]))
+                    key = (str(record[first_field]), str(record[second_field]))
                 except (KeyError, TypeError, ValueError):
                     self.stats.malformed += 1
                     continue
@@ -372,6 +426,31 @@ class CampaignCheckpoint:
                     "members": len(result.members),
                     "p99_latency_ms": result.p99_latency_ms,
                     "served_p99_per_joule": result.served_p99_per_joule,
+                },
+                "payload": base64.b64encode(pickle.dumps(result)).decode("ascii"),
+            }
+        )
+
+    def store_fleet(
+        self,
+        key: FleetCellKey,
+        expectation: CellExpectation,
+        result,
+    ) -> None:
+        """Append one finished fleet cell (same discipline as :meth:`store`)."""
+        mix_name, family_name = key
+        self._append(
+            {
+                "version": _CHECKPOINT_VERSION,
+                "kind": "fleet",
+                "seed": self.seed,
+                "fingerprint": expectation.fingerprint,
+                "mix": mix_name,
+                "family": family_name,
+                "metrics": {
+                    "members": len(result.members),
+                    "p99_latency_ms": result.p99_latency_ms,
+                    "total_joules": result.total_joules,
                 },
                 "payload": base64.b64encode(pickle.dumps(result)).decode("ascii"),
             }

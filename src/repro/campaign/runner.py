@@ -74,6 +74,7 @@ __all__ = [
     "PortabilityEntry",
     "CampaignResult",
     "run_campaign",
+    "fan_out_cells",
 ]
 
 logger = logging.getLogger(__name__)
@@ -247,6 +248,33 @@ def _resolve_platforms(platforms: Sequence[Union[str, Platform]]) -> Tuple[Platf
     if len(set(names)) != len(names):
         raise ConfigurationError(f"campaign platforms must have distinct names, got {names}")
     return resolved
+
+
+def fan_out_cells(
+    pending: Sequence,
+    make_task,
+    run_cell,
+    finish,
+    workers: int,
+) -> None:
+    """Run independent campaign cells serially or over a process pool.
+
+    The shared fan-out discipline of the serving and fleet sweeps: each
+    pending key is turned into a picklable task (``make_task``), executed by
+    a module-level function (``run_cell`` — so a process pool can dispatch
+    it), and handed to ``finish(key, result)`` as it completes.  Cells must
+    be mutually independent and ``run_cell`` deterministic from the task
+    contents alone; ``finish`` runs in the main process, so checkpoint files
+    stay single-writer and completion order never leaks into results.
+    """
+    if workers > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = {executor.submit(run_cell, make_task(key)): key for key in pending}
+            for future in as_completed(futures):
+                finish(futures[future], future.result())
+    else:
+        for key in pending:
+            finish(key, run_cell(make_task(key)))
 
 
 def _resolve_scenarios(

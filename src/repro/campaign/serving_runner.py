@@ -42,7 +42,6 @@ byte-identical :func:`repro.core.report.traffic_ranking_summary`.
 from __future__ import annotations
 
 import logging
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -65,7 +64,13 @@ from .checkpoint import (
     ServingCellKey,
     campaign_fingerprint,
 )
-from .runner import CampaignResult, CampaignScenario, _resolve_platforms, run_campaign
+from .runner import (
+    CampaignResult,
+    CampaignScenario,
+    _resolve_platforms,
+    fan_out_cells,
+    run_campaign,
+)
 
 __all__ = [
     "MemberOutcome",
@@ -480,17 +485,7 @@ def run_serving_campaign(
 
     pending = [key for key in expectations if key not in completed]
     workers = 1 if cell_workers is None else int(cell_workers)
-    if workers > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = {
-                executor.submit(_run_serving_cell, make_task(key)): key
-                for key in pending
-            }
-            for future in as_completed(futures):
-                finish_cell(futures[future], future.result())
-    else:
-        for key in pending:
-            finish_cell(key, _run_serving_cell(make_task(key)))
+    fan_out_cells(pending, make_task, _run_serving_cell, finish_cell, workers)
 
     cells = tuple(
         completed[(platform.name, family.name)]

@@ -570,6 +570,50 @@ class MapAndConquer:
             **kwargs,
         )
 
+    def fleet_campaign(
+        self,
+        mixes,
+        families=None,
+        seed: Optional[int] = None,
+        **kwargs,
+    ):
+        """Search the mixes' platforms, then sweep fleet mixes over families.
+
+        Thin wrapper over :func:`repro.campaign.run_fleet_campaign` bound to
+        ``self.network``: the union of the mixes' platforms is searched
+        exactly as in :meth:`campaign`, one front point per mix selection is
+        distilled into a deployment, and every
+        :class:`~repro.campaign.FleetMix` — platform counts x front-point
+        choice x router x autoscaler — serves every member of every workload
+        family, ranked by total joules within the p99 SLO.  Render the
+        result with :func:`repro.core.report.fleet_summary`.  Unlike
+        :meth:`campaign`, the grid comes entirely from the mixes — the
+        framework's own platform only participates if some mix fields it —
+        but the same cost-model restriction applies.  See
+        :func:`repro.campaign.run_fleet_campaign` for the remaining keyword
+        arguments (members_per_family, duration_ms, p99_slo_ms, deadline_ms,
+        checkpoint_dir, cell_workers, ...).
+        """
+        from ..campaign.fleet_runner import run_fleet_campaign
+
+        if self.cost_model is not None:
+            raise ConfigurationError(
+                "fleet_campaign() cannot reuse this framework's cost model: a "
+                "custom or surrogate cost model is calibrated to one platform "
+                "and would mis-score the other cells; build the campaign from "
+                "an analytical-oracle framework instead"
+            )
+        return run_fleet_campaign(
+            self.network,
+            mixes,
+            families=families,
+            seed=self.seed if seed is None else seed,
+            accuracy_model=self.evaluator.accuracy_model,
+            reorder_channels=self.evaluator.reorder_channels,
+            validation_samples=self.evaluator.validation_samples,
+            **kwargs,
+        )
+
     # -- Pareto selection -------------------------------------------------------------
     def pareto(self, evaluated: Sequence[EvaluatedConfig]) -> list:
         """Non-dominated subset of ``evaluated``."""

@@ -30,6 +30,8 @@ __all__ = [
     "surrogate_summary",
     "serving_campaign_table",
     "traffic_ranking_summary",
+    "fleet_table",
+    "fleet_summary",
     "hypervolume_curve",
     "generations_to_reach",
 ]
@@ -408,6 +410,71 @@ def traffic_ranking_summary(serving) -> str:
         lines.append(
             "  every family's served winner matches the isolated-energy best"
         )
+    return "\n".join(lines)
+
+
+def fleet_table(fleet) -> str:
+    """One row per (family, mix) cell of a fleet campaign.
+
+    Rows come out family-major (every mix under the first family, then the
+    next family), mirroring the cell order of
+    :class:`~repro.campaign.fleet_runner.FleetCampaignResult`; ``slo`` marks
+    whether every member stayed inside the p99 budget without drops, and
+    ``MJ/day@1M`` is the projected megajoules to serve one million requests
+    per day at the cell's per-request efficiency.  Fixed precision keeps the
+    table byte-deterministic for a seed.
+    """
+    return format_table([cell.summary_row() for cell in fleet.cells])
+
+
+def fleet_summary(fleet) -> str:
+    """Full plain-text report of a fleet campaign (deterministic per seed).
+
+    Contains only seed-determined numbers — the cell table, each mix's
+    composition, and the per-family mix ranking (within-SLO mixes by total
+    joules, SLO violators after, by how badly they miss).
+    """
+    lines = [
+        f"fleet campaign: {fleet.network_name} x "
+        f"{len(fleet.mix_names)} mixes x "
+        f"{len(fleet.family_names)} families x "
+        f"{fleet.members_per_family} members "
+        f"(seed {fleet.seed}, {fleet.duration_ms:.0f} ms/member, "
+        f"p99 SLO {fleet.p99_slo_ms:.0f} ms)",
+        "",
+        "mixes:",
+    ]
+    for mix in fleet.mixes:
+        counts = " + ".join(
+            f"{count}x {spec if isinstance(spec, str) else spec.name}"
+            for spec, count in mix.counts
+        )
+        scaler = "autoscaled" if mix.autoscaler is not None else "always-on"
+        lines.append(
+            f"  {mix.name}: {counts} ({mix.selection} front point, "
+            f"{mix.router} router, {scaler})"
+        )
+    lines.extend(["", fleet_table(fleet), ""])
+    lines.append("fleet ranking (joules within p99 SLO, best first):")
+    for family in fleet.family_names:
+        ranked = fleet.ranking(family)
+        lines.append(
+            f"  {family}: "
+            + " > ".join(
+                f"{cell.mix_name} ({cell.total_joules:.3f} J)"
+                if cell.within_slo
+                else f"{cell.mix_name} (SLO MISS @ {cell.worst_p99_latency_ms:.1f} ms)"
+                for cell in ranked
+            )
+        )
+        if ranked[0].within_slo:
+            best = ranked[0]
+            lines.append(
+                f"    best: {best.mix_name} at "
+                f"{best.daily_joules() / 1e6:.3f} MJ per 1M requests/day"
+            )
+        else:
+            lines.append("    best: none within SLO")
     return "\n".join(lines)
 
 

@@ -18,10 +18,39 @@ this time dropping the "one request at a time" idealisation:
   simulated p99-under-traffic instead of isolated averages,
 * :mod:`repro.serving.families` -- parameterised workload families (steady
   Poisson, bursty, diurnal, multi-tenant mixes) expanding into seeded member
-  scenarios for serving campaigns (:mod:`repro.campaign.serving_runner`).
+  scenarios for serving campaigns (:mod:`repro.campaign.serving_runner`),
+* :mod:`repro.serving.fleet` -- heterogeneous fleets of instances behind a
+  pluggable deterministic router with an autoscaler (boot latency, idle
+  power), each instance replaying its sub-stream through the unchanged
+  event loop,
+* :mod:`repro.serving.fleet_metrics` -- fleet-level pooled tails, dynamic +
+  idle joules, utilisation and the byte-deterministic fleet trace.
 """
 
 from .bridge import TrafficRanking, rank_under_traffic, simulate_deployment
+from .fleet import (
+    AutoscaleEvent,
+    AutoscalerPolicy,
+    DeadlineAwareRouter,
+    EnergyAwareRouter,
+    FleetInstance,
+    FleetResult,
+    FleetRouter,
+    FleetSimulator,
+    InstanceOutcome,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    get_router,
+    router_names,
+    simulate_fleet,
+)
+from .fleet_metrics import (
+    FleetMetrics,
+    FleetRequestRecord,
+    compute_fleet_metrics,
+    fleet_records,
+    write_fleet_trace_jsonl,
+)
 from .families import (
     DiurnalFamily,
     MultiTenantMixFamily,
@@ -95,4 +124,23 @@ __all__ = [
     "get_family",
     "default_families",
     "member_traffic_seed",
+    "FleetInstance",
+    "FleetRouter",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "DeadlineAwareRouter",
+    "EnergyAwareRouter",
+    "router_names",
+    "get_router",
+    "AutoscalerPolicy",
+    "AutoscaleEvent",
+    "InstanceOutcome",
+    "FleetResult",
+    "FleetSimulator",
+    "simulate_fleet",
+    "FleetRequestRecord",
+    "FleetMetrics",
+    "fleet_records",
+    "compute_fleet_metrics",
+    "write_fleet_trace_jsonl",
 ]

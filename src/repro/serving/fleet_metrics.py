@@ -1,0 +1,239 @@
+"""Fleet-level aggregation: pooled tails, joules (dynamic + idle), utilisation.
+
+:func:`repro.serving.metrics.compute_metrics` judges one instance; a fleet is
+judged on the *pooled* request population plus costs no single instance sees:
+idle power of boards kept warm for headroom, boot events, dropped requests.
+:func:`compute_fleet_metrics` reduces a
+:class:`~repro.serving.fleet.FleetResult` to those numbers, checking request
+conservation (served + dropped == generated) on the way, and
+:func:`write_fleet_trace_jsonl` exports the fleet-wide trace with the same
+byte-deterministic formatting as single-instance serving (sorted keys,
+shortest round-trip floats), each line carrying the serving instance and the
+request's *global* index in the shared stream.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .simulator import RequestRecord
+
+__all__ = [
+    "FleetRequestRecord",
+    "FleetMetrics",
+    "fleet_records",
+    "compute_fleet_metrics",
+    "write_fleet_trace_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class FleetRequestRecord:
+    """One served request of the fleet-wide trace.
+
+    ``index`` is the request's position in the fleet's arrival-sorted stream
+    (so traces from different routers align line for line); ``record`` is the
+    untouched per-instance trace entry, whose own ``index`` is local to the
+    serving instance's sub-stream.
+    """
+
+    index: int
+    instance: str
+    record: RequestRecord
+
+    def to_json_dict(self) -> dict:
+        """Flat JSON view: the instance record keyed by the global index."""
+        payload = self.record.to_json_dict()
+        payload["instance_index"] = payload.pop("index")
+        payload["index"] = self.index
+        payload["instance"] = self.instance
+        return payload
+
+
+@dataclass(frozen=True)
+class FleetMetrics:
+    """Distributional behaviour of one fleet run.
+
+    Latency percentiles and accuracy pool every served request across
+    instances; energy splits into the dynamic joules the traces account for
+    and the idle joules of powered-but-waiting silicon, which is what the
+    autoscaler exists to reclaim.  ``mean_in_flight`` sums the per-instance
+    time-averaged occupancies over the shared horizon, so fleet-level
+    Little's law (``L = lambda * W`` with the pooled mean latency) remains a
+    non-trivial consistency check of routing + replay together.
+    """
+
+    router: str
+    num_instances: int
+    num_requests: int
+    num_dropped: int
+    duration_ms: float
+    throughput_rps: float
+    drop_rate: float
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    max_latency_ms: float
+    mean_queueing_ms: float
+    deadline_miss_rate: float
+    accuracy: float
+    dynamic_energy_mj: float
+    idle_energy_mj: float
+    total_energy_mj: float
+    energy_per_request_mj: float
+    mean_in_flight: float
+    mean_active_instances: float
+    peak_active_instances: int
+    boots: int
+    instance_requests: Mapping[str, int] = field(default_factory=dict)
+    instance_utilisation: Mapping[str, float] = field(default_factory=dict)
+
+    def summary_row(self) -> dict:
+        """Flat dictionary for :func:`repro.core.report.format_table`."""
+        return {
+            "router": self.router,
+            "instances": self.num_instances,
+            "requests": self.num_requests,
+            "drop_%": 100.0 * self.drop_rate,
+            "rps": self.throughput_rps,
+            "p50_ms": self.p50_latency_ms,
+            "p99_ms": self.p99_latency_ms,
+            "miss_%": 100.0 * self.deadline_miss_rate,
+            "acc_%": 100.0 * self.accuracy,
+            "J_total": self.total_energy_mj / 1000.0,
+            "mJ/req": self.energy_per_request_mj,
+            "mean_active": self.mean_active_instances,
+        }
+
+
+def fleet_records(result) -> Tuple[FleetRequestRecord, ...]:
+    """Fleet-wide request records, sorted by global (stream) index.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the fleet result
+    violates request conservation — a request assigned to an instance whose
+    replay produced no trace entry for it, or duplicated across instances —
+    which would mean the routing pass and the replay pass disagree.
+    """
+    merged = {}
+    for outcome in result.outcomes:
+        records = outcome.result.records if outcome.result is not None else ()
+        if len(records) != len(outcome.assigned):
+            raise ConfigurationError(
+                f"instance {outcome.instance.name!r} was assigned "
+                f"{len(outcome.assigned)} requests but replayed {len(records)}"
+            )
+        for record in records:
+            global_index = outcome.assigned[record.index]
+            if global_index in merged:
+                raise ConfigurationError(
+                    f"request {global_index} served by more than one instance"
+                )
+            merged[global_index] = FleetRequestRecord(
+                index=global_index, instance=outcome.instance.name, record=record
+            )
+    expected = len(result.requests) - len(result.dropped)
+    if len(merged) != expected:
+        raise ConfigurationError(
+            f"request conservation violated: {len(result.requests)} generated, "
+            f"{len(result.dropped)} dropped, but {len(merged)} served"
+        )
+    return tuple(merged[index] for index in sorted(merged))
+
+
+def _mean_peak_active(result) -> Tuple[float, int]:
+    """Time-average and peak of the powered-instance count over the horizon."""
+    active = result.initial_active
+    peak = active
+    area = 0.0
+    last_ms = 0.0
+    for event in result.events:
+        area += active * (event.time_ms - last_ms)
+        last_ms = event.time_ms
+        active = event.active
+        peak = max(peak, active)
+    area += active * (result.duration_ms - last_ms)
+    mean = area / result.duration_ms if result.duration_ms > 0 else 0.0
+    return mean, peak
+
+
+def compute_fleet_metrics(result) -> FleetMetrics:
+    """Reduce a :class:`~repro.serving.fleet.FleetResult` to fleet aggregates."""
+    pooled = fleet_records(result)
+    if not pooled:
+        raise ConfigurationError("no served requests to aggregate (all dropped?)")
+    records = [entry.record for entry in pooled]
+    latencies = np.sort(np.array([record.latency_ms for record in records]))
+    queueing = np.array([record.queueing_ms for record in records])
+    energies = np.array([record.energy_mj for record in records])
+    correct = np.array([record.correct for record in records])
+    with_deadline = [record for record in records if record.deadline_ms is not None]
+    missed = sum(1 for record in with_deadline if record.deadline_missed)
+
+    duration_ms = result.duration_ms
+    duration_s = duration_ms / 1000.0
+    dynamic_mj = float(energies.sum())
+    idle_mj = float(sum(outcome.idle_energy_mj() for outcome in result.outcomes))
+    total_mj = dynamic_mj + idle_mj
+    in_flight_area = sum(
+        outcome.result.mean_in_flight * outcome.result.duration_ms
+        for outcome in result.outcomes
+        if outcome.result is not None
+    )
+    mean_active, peak_active = _mean_peak_active(result)
+    generated = len(result.requests)
+    return FleetMetrics(
+        router=result.router,
+        num_instances=len(result.outcomes),
+        num_requests=len(records),
+        num_dropped=result.num_dropped,
+        duration_ms=duration_ms,
+        throughput_rps=len(records) / duration_s if duration_s > 0 else 0.0,
+        drop_rate=result.num_dropped / generated if generated else 0.0,
+        mean_latency_ms=float(latencies.mean()),
+        p50_latency_ms=float(np.percentile(latencies, 50.0)),
+        p95_latency_ms=float(np.percentile(latencies, 95.0)),
+        p99_latency_ms=float(np.percentile(latencies, 99.0)),
+        max_latency_ms=float(latencies[-1]),
+        mean_queueing_ms=float(queueing.mean()),
+        deadline_miss_rate=missed / len(with_deadline) if with_deadline else 0.0,
+        accuracy=float(correct.mean()),
+        dynamic_energy_mj=dynamic_mj,
+        idle_energy_mj=idle_mj,
+        total_energy_mj=total_mj,
+        energy_per_request_mj=total_mj / len(records),
+        mean_in_flight=in_flight_area / duration_ms if duration_ms > 0 else 0.0,
+        mean_active_instances=mean_active,
+        peak_active_instances=int(peak_active),
+        boots=sum(outcome.boots for outcome in result.outcomes),
+        instance_requests={
+            outcome.instance.name: outcome.num_requests for outcome in result.outcomes
+        },
+        instance_utilisation={
+            outcome.instance.name: outcome.utilisation() for outcome in result.outcomes
+        },
+    )
+
+
+def write_fleet_trace_jsonl(records: Iterable[FleetRequestRecord], path) -> Path:
+    """Write one JSON object per served fleet request to ``path``.
+
+    Same guarantees as :func:`repro.serving.metrics.write_trace_jsonl`: sorted
+    keys and shortest round-trip floats, so a seeded fleet run always writes
+    a byte-identical file.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for entry in records:
+            handle.write(
+                json.dumps(entry.to_json_dict(), sort_keys=True, separators=(",", ":"))
+            )
+            handle.write("\n")
+    return target

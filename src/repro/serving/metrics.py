@@ -133,13 +133,32 @@ def compute_metrics(
             "no records to aggregate"
             + (f" for tenant {tenant!r}" if tenant is not None else "")
         )
-    latencies = np.sort(np.array([record.latency_ms for record in records]))
-    queueing = np.array([record.queueing_ms for record in records])
-    energies = np.array([record.energy_mj for record in records])
-    stages = np.array([record.num_stages for record in records])
-    correct = np.array([record.correct for record in records])
-    with_deadline = [record for record in records if record.deadline_ms is not None]
-    missed = sum(1 for record in with_deadline if record.deadline_missed)
+    # Single pass over the records into one (n, 7) array; every reduction
+    # below then sees exactly the values, dtype and element order the old
+    # per-field comprehensions produced, so the aggregates stay bit-identical
+    # (pinned by the serving goldens and the row-wise reference test).
+    columns = np.array(
+        [
+            (
+                record.latency_ms,
+                record.queueing_ms,
+                record.energy_mj,
+                float(record.num_stages),
+                1.0 if record.correct else 0.0,
+                0.0 if record.deadline_ms is None else 1.0,
+                1.0 if record.deadline_missed else 0.0,
+            )
+            for record in records
+        ],
+        dtype=float,
+    )
+    latencies = np.sort(columns[:, 0])
+    queueing = np.ascontiguousarray(columns[:, 1])
+    energies = np.ascontiguousarray(columns[:, 2])
+    stages = np.ascontiguousarray(columns[:, 3])
+    correct = np.ascontiguousarray(columns[:, 4])
+    num_with_deadline = int(columns[:, 5].sum())
+    missed = int(columns[:, 6].sum())
     duration_s = result.duration_ms / 1000.0
     return ServingMetrics(
         policy=result.policy,
@@ -152,7 +171,7 @@ def compute_metrics(
         p99_latency_ms=_percentile(latencies, 99.0),
         max_latency_ms=float(latencies[-1]),
         mean_queueing_ms=float(queueing.mean()),
-        deadline_miss_rate=missed / len(with_deadline) if with_deadline else 0.0,
+        deadline_miss_rate=missed / num_with_deadline if num_with_deadline else 0.0,
         accuracy=float(correct.mean()),
         mean_stages=float(stages.mean()),
         total_energy_mj=float(energies.sum()),

@@ -24,7 +24,7 @@ from typing import Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..soc.platform import Platform
-from ..utils import check_fraction, check_positive
+from ..utils import check_fraction, check_non_negative, check_positive
 
 __all__ = [
     "Deployment",
@@ -111,19 +111,76 @@ class Deployment:
         """
         return (1.0,) + tuple(1.0 - acc for acc in self.stage_accuracies[:-1])
 
-    def effective_capacity_rps(self) -> float:
-        """Sustainable throughput accounting for early exits.
+    @property
+    def bottleneck_busy_ms(self) -> float:
+        """Expected bottleneck occupancy per request under ideal exits.
 
         Compute unit ``i`` is busy ``service_ms[i]`` only for the fraction of
         requests that actually reach stage ``i``, so the serving bottleneck
         is ``max_i service_ms[i] * visit_fraction[i]`` -- often the *first*
         stage, which every request pays, rather than the slowest one.
         """
-        per_request_busy = max(
+        return max(
             service * visit
             for service, visit in zip(self.service_ms, self.stage_visit_fractions)
         )
-        return 1000.0 / per_request_busy
+
+    def effective_capacity_rps(self, max_wait_ms: Optional[float] = None) -> float:
+        """Sustainable throughput accounting for early exits and queueing.
+
+        With ``max_wait_ms=None`` this is the saturation throughput: the
+        bottleneck unit admits one request per :attr:`bottleneck_busy_ms`.
+        Passing a waiting-time budget instead returns the M/G/1-style
+        *headroom* capacity — the highest Poisson arrival rate at which the
+        mean queueing delay predicted by :meth:`expected_wait_ms` stays
+        within the budget.  With deterministic per-stage service (M/D/1,
+        ``W = rho * S / (2 (1 - rho))``) that bound solves to
+        ``rho <= 2 W / (S + 2 W)``, so the headroom capacity is the
+        saturation capacity scaled by that utilisation cap.  Routers use it
+        to estimate how much load an instance can absorb *without running a
+        simulator*.
+        """
+        base = 1000.0 / self.bottleneck_busy_ms
+        if max_wait_ms is None:
+            return base
+        check_positive(max_wait_ms, "max_wait_ms")
+        rho_cap = 2.0 * max_wait_ms / (self.bottleneck_busy_ms + 2.0 * max_wait_ms)
+        return base * rho_cap
+
+    def expected_wait_ms(self, rate_rps: float) -> float:
+        """M/G/1 mean queueing delay at the bottleneck under Poisson arrivals.
+
+        The bottleneck unit sees deterministic service of
+        :attr:`bottleneck_busy_ms` per admitted request (early exits folded
+        into the visit fraction), so the Pollaczek-Khinchine mean wait
+        reduces to the M/D/1 form ``W = rho * S / (2 (1 - rho))`` with
+        ``rho = rate * S``.  Returns ``inf`` at or beyond saturation — the
+        queue has no steady state there.  This is the cheap queueing
+        approximation the fleet routers (and serving-aware selection) use in
+        place of a full simulation.
+        """
+        check_non_negative(rate_rps, "rate_rps")
+        busy_ms = self.bottleneck_busy_ms
+        rho = rate_rps * busy_ms / 1000.0
+        if rho >= 1.0:
+            return float("inf")
+        return rho * busy_ms / (2.0 * (1.0 - rho))
+
+    @property
+    def expected_energy_per_request_mj(self) -> float:
+        """Mean energy of one request under ideal exits.
+
+        Stage ``i``'s energy is only paid by the fraction of requests that
+        instantiate it, so the expectation is the visit-weighted sum -- the
+        number an energy-aware router compares across heterogeneous
+        instances.
+        """
+        return float(
+            sum(
+                energy * visit
+                for energy, visit in zip(self.energy_mj, self.stage_visit_fractions)
+            )
+        )
 
     @classmethod
     def from_evaluated(cls, evaluated, name: Optional[str] = None) -> "Deployment":

@@ -1,0 +1,140 @@
+"""Golden-file regression pin of ``fleet_summary`` bytes.
+
+A 3-mix x 2-family fleet campaign at a fixed seed must render the exact
+bytes stored in ``tests/data/fleet_campaign_golden.txt`` — through the
+sequential path and the cell-parallel runner alike, and when resumed from a
+checkpoint.  Any change to search semantics, front-point selection, the
+router/autoscaler numerics, fleet metric definitions or report formatting
+shows up here as a reviewable diff instead of silent drift.
+
+To regenerate after an *intentional* change::
+
+    PYTHONPATH=src python tests/test_fleet_campaign_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import FleetMix
+from repro.core.framework import MapAndConquer
+from repro.core.report import fleet_summary
+from repro.serving import AutoscalerPolicy
+from repro.serving.families import DiurnalFamily, SteadyPoissonFamily
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "fleet_campaign_golden.txt"
+
+MIXES = (
+    FleetMix(name="xavier-pair", counts=(("jetson-agx-xavier", 2),)),
+    FleetMix(
+        name="nano-pair",
+        counts=(("jetson-nano-class", 2),),
+        selection="latency",
+        router="round-robin",
+    ),
+    FleetMix(
+        name="hetero",
+        counts=(("jetson-agx-xavier", 1), ("jetson-nano-class", 1)),
+        selection="balanced",
+        router="deadline-aware",
+        autoscaler=AutoscalerPolicy(
+            min_instances=1,
+            target_utilisation=0.6,
+            scale_down_utilisation=0.2,
+            decision_interval_ms=100.0,
+            window_ms=400.0,
+        ),
+    ),
+)
+FAMILIES = (
+    SteadyPoissonFamily(rate_rps=40.0),
+    DiurnalFamily(peak_rps=70.0, trough_fraction=0.2, period_ms=800.0),
+)
+SEED = 3
+BUDGET = dict(
+    members_per_family=2,
+    duration_ms=600.0,
+    p99_slo_ms=150.0,
+    generations=2,
+    population_size=6,
+)
+
+
+def _tiny_network():
+    # Mirrors the conftest fixture; duplicated so --regenerate works as a
+    # plain script outside pytest.
+    from repro.nn.graph import NetworkGraph
+    from repro.nn.layers import (
+        AttentionLayer,
+        Conv2dLayer,
+        FeedForwardLayer,
+        LinearLayer,
+    )
+
+    layers = (
+        Conv2dLayer(
+            name="conv1",
+            width=16,
+            in_width=3,
+            kernel_size=3,
+            stride=1,
+            in_spatial=(8, 8),
+            out_spatial=(8, 8),
+        ),
+        AttentionLayer(name="attn", width=32, in_width=16, tokens=16, num_heads=4),
+        FeedForwardLayer(name="mlp", width=32, in_width=32, tokens=16, expansion=2.0),
+        LinearLayer(name="head", width=10, in_width=32, tokens=1),
+    )
+    return NetworkGraph(
+        name="tiny",
+        layers=layers,
+        input_shape=(3, 8, 8),
+        num_classes=10,
+        base_accuracy=0.9,
+        family="vit",
+    )
+
+
+def _render(**overrides) -> str:
+    network = overrides.pop("network", None) or _tiny_network()
+    framework = MapAndConquer(network, seed=SEED)
+    fleet = framework.fleet_campaign(
+        MIXES, families=FAMILIES, seed=SEED, **BUDGET, **overrides
+    )
+    assert len(fleet.mix_names) == 3 and len(fleet.family_names) == 2
+    return fleet_summary(fleet) + "\n"
+
+
+@pytest.fixture(scope="module")
+def golden() -> str:
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing — regenerate with "
+        f"`PYTHONPATH=src python {Path(__file__).name} --regenerate`"
+    )
+    return GOLDEN_PATH.read_text(encoding="utf-8")
+
+
+def test_serial_path_matches_golden(tiny_network, golden):
+    assert _render(network=tiny_network) == golden
+
+
+def test_cell_parallel_matches_golden(tiny_network, golden):
+    assert _render(network=tiny_network, cell_workers=2) == golden
+
+
+def test_checkpoint_resume_matches_golden(tiny_network, golden, tmp_path):
+    assert _render(network=tiny_network, checkpoint_dir=tmp_path) == golden
+    # Second pass: every cell restored from the checkpoint, bytes unchanged.
+    assert _render(network=tiny_network, checkpoint_dir=tmp_path) == golden
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" not in sys.argv:
+        sys.exit("pass --regenerate to overwrite the golden file")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(_render(), encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")

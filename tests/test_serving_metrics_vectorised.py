@@ -1,0 +1,131 @@
+"""Bit-identity pin of the vectorised :func:`compute_metrics` reduction.
+
+``compute_metrics`` builds one ``(n, 7)`` array in a single pass instead of
+seven per-field list comprehensions.  The refactor is only legal if every
+aggregate keeps its exact bits — the serving goldens and the fleet summary
+both hash these floats.  This file keeps the *old* row-wise implementation
+as an executable reference and asserts equality with ``==`` (never
+``approx``) across policies, tenants and deadline shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import (
+    Deployment,
+    MultiTenantStream,
+    PoissonArrivals,
+    StaticPolicy,
+    TrafficSimulator,
+    compute_metrics,
+)
+from repro.serving.metrics import ServingMetrics, _percentile
+
+
+def _reference_metrics(result, tenant=None) -> ServingMetrics:
+    """The pre-vectorisation implementation: one comprehension per field."""
+    records = result.records
+    if tenant is not None:
+        records = [record for record in records if record.tenant == tenant]
+    if not records:
+        raise ConfigurationError("no records to aggregate")
+    latencies = np.sort(np.array([r.latency_ms for r in records], dtype=float))
+    queueing = np.array([r.queueing_ms for r in records], dtype=float)
+    energies = np.array([r.energy_mj for r in records], dtype=float)
+    stages = np.array([float(r.num_stages) for r in records], dtype=float)
+    correct = np.array(
+        [1.0 if r.correct else 0.0 for r in records], dtype=float
+    )
+    with_deadline = [r for r in records if r.deadline_ms is not None]
+    missed = sum(1 for r in with_deadline if r.deadline_missed)
+    duration_s = result.duration_ms / 1000.0
+    return ServingMetrics(
+        policy=result.policy,
+        num_requests=len(records),
+        duration_ms=result.duration_ms,
+        throughput_rps=len(records) / duration_s if duration_s > 0 else 0.0,
+        mean_latency_ms=float(latencies.mean()),
+        p50_latency_ms=_percentile(latencies, 50.0),
+        p95_latency_ms=_percentile(latencies, 95.0),
+        p99_latency_ms=_percentile(latencies, 99.0),
+        max_latency_ms=float(latencies[-1]),
+        mean_queueing_ms=float(queueing.mean()),
+        deadline_miss_rate=(
+            missed / len(with_deadline) if with_deadline else 0.0
+        ),
+        accuracy=float(correct.mean()),
+        mean_stages=float(stages.mean()),
+        total_energy_mj=float(energies.sum()),
+        energy_per_request_mj=float(energies.mean()),
+        mean_in_flight=result.mean_in_flight,
+        peak_in_flight=result.peak_in_flight,
+        utilisation={
+            name: busy / result.duration_ms if result.duration_ms > 0 else 0.0
+            for name, busy in result.busy_ms.items()
+        },
+    )
+
+
+@pytest.fixture()
+def cascade():
+    return Deployment(
+        name="cascade",
+        unit_names=("gpu", "dla0", "dla1"),
+        service_ms=(5.0, 20.0, 30.0),
+        energy_mj=(40.0, 10.0, 12.0),
+        stage_accuracies=(0.5, 0.7, 0.9),
+        dvfs_scales=(1.0, 1.0, 1.0),
+    )
+
+
+def _assert_bit_identical(vectorised: ServingMetrics, reference: ServingMetrics):
+    # Strict equality on every float: the two reductions must agree to the
+    # last bit, not within a tolerance.
+    assert vectorised == reference
+
+
+class TestVectorisedBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_poisson_no_deadlines(self, platform, cascade, seed):
+        simulator = TrafficSimulator(platform, StaticPolicy(cascade), seed=seed)
+        result = simulator.run(
+            PoissonArrivals(60.0).generate(duration_ms=3000.0, seed=seed)
+        )
+        _assert_bit_identical(compute_metrics(result), _reference_metrics(result))
+
+    def test_with_deadlines(self, platform, cascade):
+        simulator = TrafficSimulator(
+            platform, StaticPolicy(cascade), seed=5, deadline_ms=45.0
+        )
+        result = simulator.run(
+            PoissonArrivals(80.0).generate(duration_ms=2000.0, seed=5)
+        )
+        metrics = compute_metrics(result)
+        _assert_bit_identical(metrics, _reference_metrics(result))
+        assert metrics.deadline_miss_rate > 0.0  # the comparison is non-trivial
+
+    def test_multi_tenant_filter(self, platform, cascade):
+        stream = MultiTenantStream(
+            (
+                PoissonArrivals(30.0, tenant="interactive", deadline_ms=50.0),
+                PoissonArrivals(20.0, tenant="batch"),
+            )
+        )
+        simulator = TrafficSimulator(platform, StaticPolicy(cascade), seed=2)
+        result = simulator.run(stream.generate(duration_ms=2500.0, seed=2))
+        for tenant in (None, "interactive", "batch"):
+            _assert_bit_identical(
+                compute_metrics(result, tenant=tenant),
+                _reference_metrics(result, tenant=tenant),
+            )
+
+    def test_single_request_edges(self, platform, cascade):
+        simulator = TrafficSimulator(platform, StaticPolicy(cascade), seed=1)
+        result = simulator.run(
+            PoissonArrivals(2.0).generate(duration_ms=3000.0, seed=9)
+        )
+        assert result.records  # tiny but non-empty stream
+        _assert_bit_identical(compute_metrics(result), _reference_metrics(result))

@@ -220,3 +220,105 @@ class TestControllerDecide:
             controller.decide(0.5, ())
         with pytest.raises(ConfigurationError):
             controller.decide(0.5, (0.9, 0.5))
+
+
+class TestQueueingApproximation:
+    """The M/D/1 helpers must agree with the discrete-event simulator."""
+
+    def test_stage_visit_fractions_and_bottleneck(self, frugal):
+        # Every request pays stage 0; only the 40% the first exit cannot
+        # classify reach stage 1 — making stage 0 the serving bottleneck
+        # (30.0 > 45.0 * 0.4) even though stage 1 is slower in isolation.
+        assert frugal.stage_visit_fractions == (1.0, pytest.approx(0.4))
+        assert frugal.bottleneck_busy_ms == pytest.approx(30.0)
+        assert frugal.effective_capacity_rps() == pytest.approx(1000.0 / 30.0)
+        # Early exits buy throughput over the all-stages worst case.
+        assert frugal.effective_capacity_rps() > frugal.capacity_rps()
+
+    def test_single_stage_reduces_to_service_time(self, fast):
+        assert fast.bottleneck_busy_ms == pytest.approx(6.0)
+        assert fast.effective_capacity_rps() == pytest.approx(fast.capacity_rps())
+        assert fast.expected_energy_per_request_mj == pytest.approx(80.0)
+
+    def test_expected_energy_is_visit_weighted(self, frugal):
+        assert frugal.expected_energy_per_request_mj == pytest.approx(
+            8.0 + 0.4 * 10.0
+        )
+
+    def test_expected_wait_shape(self, fast):
+        # Zero at zero load, strictly increasing, infinite at saturation.
+        assert fast.expected_wait_ms(0.0) == 0.0
+        waits = [fast.expected_wait_ms(rate) for rate in (20.0, 60.0, 100.0, 150.0)]
+        assert all(a < b for a, b in zip(waits, waits[1:]))
+        assert fast.expected_wait_ms(1000.0 / 6.0) == float("inf")
+        assert fast.expected_wait_ms(400.0) == float("inf")
+
+    def test_wait_budget_capacity_inverts_expected_wait(self, frugal):
+        # effective_capacity_rps(W) is exactly the rate whose predicted mean
+        # wait is W, and tightening the budget shrinks the headroom.
+        for budget in (2.0, 10.0, 40.0):
+            rate = frugal.effective_capacity_rps(max_wait_ms=budget)
+            assert rate < frugal.effective_capacity_rps()
+            assert frugal.expected_wait_ms(rate) == pytest.approx(budget)
+        assert frugal.effective_capacity_rps(max_wait_ms=2.0) < (
+            frugal.effective_capacity_rps(max_wait_ms=40.0)
+        )
+        with pytest.raises(ConfigurationError):
+            frugal.effective_capacity_rps(max_wait_ms=0.0)
+
+    @pytest.mark.parametrize(
+        "rate_rps, rel",
+        [
+            (30.0, 0.40),  # rho = 0.3: short queues, wide relative tolerance
+            (80.0, 0.30),  # rho = 0.8: heavy load, waits dominated by rho
+        ],
+    )
+    def test_expected_wait_matches_simulator(self, platform, rate_rps, rel):
+        from repro.serving import PoissonArrivals, StaticPolicy, TrafficSimulator
+        from repro.serving.metrics import compute_metrics
+
+        # Single deterministic stage on one unit: a textbook M/D/1 queue.
+        deployment = Deployment(
+            name="md1",
+            unit_names=("gpu",),
+            service_ms=(10.0,),
+            energy_mj=(25.0,),
+            stage_accuracies=(0.9,),
+            dvfs_scales=(1.0,),
+        )
+        simulator = TrafficSimulator(platform, StaticPolicy(deployment), seed=7)
+        result = simulator.run(
+            PoissonArrivals(rate_rps).generate(duration_ms=120_000.0, seed=7)
+        )
+        measured = compute_metrics(result).mean_queueing_ms
+        predicted = deployment.expected_wait_ms(rate_rps)
+        assert measured == pytest.approx(predicted, rel=rel)
+
+    def test_effective_capacity_matches_saturated_throughput(self, platform):
+        from repro.serving import ConstantRate, StaticPolicy, TrafficSimulator
+        from repro.serving.metrics import compute_metrics
+
+        # Cascade with early exits: visit fractions (1.0, 0.5, 0.3) put the
+        # bottleneck on dla0 at 20 * 0.5 = 10 ms/request, not the 30 ms
+        # final stage — so the fleet estimate is ~100 rps, 3x the
+        # all-stages worst case.  Overload the queue and check the event
+        # loop actually drains at that rate.
+        deployment = Deployment(
+            name="cascade",
+            unit_names=("gpu", "dla0", "dla1"),
+            service_ms=(5.0, 20.0, 30.0),
+            energy_mj=(40.0, 10.0, 12.0),
+            stage_accuracies=(0.5, 0.7, 0.9),
+            dvfs_scales=(1.0, 1.0, 1.0),
+        )
+        assert deployment.effective_capacity_rps() == pytest.approx(100.0)
+        simulator = TrafficSimulator(platform, StaticPolicy(deployment), seed=11)
+        result = simulator.run(
+            ConstantRate(250.0).generate(duration_ms=20_000.0, seed=11)
+        )
+        measured = compute_metrics(result).throughput_rps
+        assert measured == pytest.approx(
+            deployment.effective_capacity_rps(), rel=0.10
+        )
+        # ... and the estimate is far closer than the worst-case bound.
+        assert measured > 2.0 * deployment.capacity_rps()
