@@ -23,6 +23,12 @@ package provides:
 * cross-platform campaigns: one search fanned over a platform x scenario
   grid, per-platform Pareto fronts and a portability matrix quantifying how
   platform-specific the searched mappings are (:mod:`repro.campaign`),
+* a first-class objective layer: named, pluggable
+  :class:`~repro.search.objectives.ObjectiveSet` objectives (direction +
+  surrogate transform per spec) threaded through the search, NSGA-II,
+  GBDT surrogates and campaign checkpoints — including serving-aware
+  search that optimises expected queueing delay at a workload family's
+  peak rate (:mod:`repro.search.objectives`),
 * serving campaigns: parameterised workload families (steady, bursty,
   diurnal, multi-tenant) swept over every platform's front, ranking the
   boards by served-p99-per-joule under real traffic instead of isolated
@@ -73,6 +79,13 @@ from .engine import (
 )
 from .nn.models import build_model, resnet20, vgg19, visformer
 from .search.constraints import SearchConstraints
+from .search.objectives import (
+    ObjectiveSet,
+    ObjectiveSpec,
+    default_objective_set,
+    serving_objectives,
+)
+from .search.pareto import select_serving_oriented
 from .search.space import MappingConfig, SearchSpace
 from .serving import (
     AdaptiveSwitchPolicy,
@@ -90,7 +103,7 @@ from .serving import (
 from .soc.platform import Platform, jetson_agx_xavier
 from .soc.presets import derive, get_platform, platform_names, platform_registry
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "MapAndConquer",
@@ -98,6 +111,11 @@ __all__ = [
     "SearchConstraints",
     "MappingConfig",
     "SearchSpace",
+    "ObjectiveSpec",
+    "ObjectiveSet",
+    "default_objective_set",
+    "serving_objectives",
+    "select_serving_oriented",
     "Platform",
     "jetson_agx_xavier",
     "platform_registry",

@@ -121,16 +121,21 @@ class CellExpectation:
     """What the current run demands of a checkpointed cell to accept it.
 
     ``surrogate`` is the fingerprint tag of the cell's surrogate settings
-    (``""`` for a pure-oracle cell).  It is deliberately *not* folded into
+    (``""`` for a pure-oracle cell) and ``objectives`` the tag of the cell's
+    :class:`~repro.search.objectives.ObjectiveSet` (``""`` for the default
+    latency/energy/accuracy axes, so files written before the objective
+    layer existed keep restoring).  Both are deliberately *not* folded into
     the base fingerprint: a base mismatch means incompatible searches and
-    raises, while a surrogate mismatch only means the acceleration settings
-    changed — the affected cells are silently re-run, exactly like serving
-    cells whose family definition changed.
+    raises, while a surrogate or objectives mismatch only means the
+    acceleration or the optimised axes changed — the affected cells are
+    silently re-run, exactly like serving cells whose family definition
+    changed.
     """
 
     fingerprint: str
     donors: Tuple[str, ...] = ()
     surrogate: str = ""
+    objectives: str = ""
 
 
 @dataclass
@@ -143,7 +148,8 @@ class CheckpointStats:
     malformed: int = 0
     #: Cells dropped for re-running rather than raising: serving cells whose
     #: fingerprint (family definition, replay budget or deployed front) no
-    #: longer matches, and search cells whose surrogate settings changed.
+    #: longer matches, and search cells whose surrogate settings or
+    #: objective set changed.
     refreshed: int = 0
 
 
@@ -203,7 +209,10 @@ class CampaignCheckpoint:
             if donors != expectation.donors:
                 mismatched.add(key)
                 continue
-            if str(record.get("surrogate", "")) != expectation.surrogate:
+            if (
+                str(record.get("surrogate", "")) != expectation.surrogate
+                or str(record.get("objectives", "")) != expectation.objectives
+            ):
                 stale_surrogate.add(key)
                 continue
             result = self._decode_payload(record, SearchResult)
@@ -232,7 +241,7 @@ class CampaignCheckpoint:
         if self.stats.refreshed:
             logger.info(
                 "campaign checkpoint %s: re-running %d cells whose surrogate "
-                "settings changed",
+                "settings or objective set changed",
                 self.path,
                 self.stats.refreshed,
             )
@@ -396,6 +405,7 @@ class CampaignCheckpoint:
                 "scenario": scenario_name,
                 "donors": list(expectation.donors),
                 "surrogate": expectation.surrogate,
+                "objectives": expectation.objectives,
                 "metrics": {
                     "evaluations": result.num_evaluations,
                     "front": len(result.pareto),

@@ -47,6 +47,7 @@ from ..engine.surrogate import SurrogateSettings
 from ..errors import ConfigurationError
 from ..nn.graph import NetworkGraph
 from ..search.evaluation import EvaluatedConfig
+from ..search.objectives import ObjectiveSet
 from ..search.pareto import select_energy_oriented, select_latency_oriented
 from ..serving.families import WorkloadFamily, member_traffic_seed, resolve_families
 from ..serving.fleet import AutoscalerPolicy, FleetInstance, get_router, simulate_fleet
@@ -513,6 +514,7 @@ def run_fleet_campaign(
     cell_workers: Optional[int] = None,
     warm_start: bool = False,
     surrogate: Optional[SurrogateSettings] = None,
+    objectives: Optional[ObjectiveSet] = None,
 ) -> FleetCampaignResult:
     """Search the mixes' platforms, then sweep fleet mixes over families.
 
@@ -541,9 +543,12 @@ def run_fleet_campaign(
         Optional search scenario for the underlying platform campaign.
     strategy, backend, n_workers, cache, generations, population_size,
     num_stages, accuracy_model, reorder_channels, validation_samples, seed,
-    checkpoint_dir, cell_workers, warm_start, surrogate:
+    checkpoint_dir, cell_workers, warm_start, surrogate, objectives:
         Forwarded to :func:`~repro.campaign.runner.run_campaign` for the
-        search over the union of the mixes' platforms.  ``checkpoint_dir``
+        search over the union of the mixes' platforms.  ``objectives``
+        additionally enters every fleet-cell fingerprint, so a changed
+        :class:`~repro.search.objectives.ObjectiveSet` re-runs the affected
+        cells.  ``checkpoint_dir``
         additionally persists every finished *fleet* cell (record kind
         ``fleet``): an interrupted sweep resumes where it stopped, and a
         cell whose mix definition, family, replay budget or deployed fronts
@@ -580,6 +585,7 @@ def run_fleet_campaign(
         cell_workers=cell_workers,
         warm_start=warm_start,
         surrogate=surrogate,
+        objectives=objectives,
     )
     scenario_name = campaign.scenario_names[0]
     fronts = {
@@ -631,6 +637,7 @@ def run_fleet_campaign(
                     front_fingerprints[platform.name]
                     for platform, _ in mix_entries[mix.name]
                 ),
+                objectives="" if objectives is None else objectives.describe(),
             )
             expectations[(mix.name, family.name)] = CellExpectation(
                 fingerprint=fingerprint

@@ -55,7 +55,7 @@ from ..nn.graph import NetworkGraph
 from ..search.constraints import SearchConstraints
 from ..search.evaluation import EvaluatedConfig
 from ..search.evolutionary import SearchResult
-from ..search.objectives import paper_objective
+from ..search.objectives import ObjectiveSet, paper_objective
 from ..search.space import MappingConfig
 from ..serving.workload import ArrivalProcess
 from ..soc.platform import Platform
@@ -316,6 +316,7 @@ class _CellTask:
     seed: int
     warm_seeds: Tuple[MappingConfig, ...] = ()
     surrogate: Optional[SurrogateSettings] = None
+    objectives: Optional[ObjectiveSet] = None
 
 
 def _build_cell_framework(task: _CellTask):
@@ -359,6 +360,7 @@ def _run_cell(
         cache=cache,
         initial_population=list(task.warm_seeds) if task.warm_seeds else None,
         surrogate=task.surrogate,
+        objectives=task.objectives,
     )
 
 
@@ -385,6 +387,7 @@ def run_campaign(
     cell_workers: Optional[int] = None,
     warm_start: bool = False,
     surrogate: Optional[SurrogateSettings] = None,
+    objectives: Optional[ObjectiveSet] = None,
 ) -> CampaignResult:
     """Search ``network`` across a platform x scenario grid and compare.
 
@@ -453,6 +456,15 @@ def run_campaign(
         the surrogate settings: resuming with different settings re-runs
         exactly the affected cells (like stale serving families), never
         mixing fronts searched under different acceleration.
+    objectives:
+        Optional :class:`~repro.search.objectives.ObjectiveSet` every cell's
+        search optimises (e.g. :func:`~repro.search.objectives.serving_objectives`
+        to fold the M/D/1 expected wait into NSGA-II).  ``None`` keeps the
+        default latency/energy/accuracy axes, byte-for-byte.  Unlike the
+        scalar ``objective``, the set *shapes* each cell's Pareto front, so
+        checkpoints record its fingerprint: resuming with a different set
+        re-runs exactly the affected cells, counted in
+        :attr:`~repro.campaign.checkpoint.CheckpointStats.refreshed`.
     """
     platform_objs = _resolve_platforms(platforms)
     scenario_objs = _resolve_scenarios(scenarios)
@@ -506,6 +518,13 @@ def run_campaign(
     surrogate_tag = (
         "" if cell_surrogate is None else campaign_fingerprint(surrogate=cell_surrogate)
     )
+    if objectives is not None and not isinstance(objectives, ObjectiveSet):
+        raise ConfigurationError(
+            f"objectives must be an ObjectiveSet or None, got {type(objectives).__name__}"
+        )
+    # The default set is tagged "" (not its fingerprint) so checkpoints
+    # written before the objective layer existed stay restorable.
+    objectives_tag = "" if objectives is None else objectives.fingerprint()
 
     def cell_budget(scenario: CampaignScenario) -> Tuple[int, int]:
         gens = scenario.generations if scenario.generations is not None else generations
@@ -528,7 +547,10 @@ def run_campaign(
             # calibration must invalidate the cell, not silently restore the
             # old one.  The scalar objective is deliberately absent — it is
             # applied post hoc in the main process and never shapes a cell's
-            # search result, so changing it keeps checkpoints valid.
+            # search result, so changing it keeps checkpoints valid.  The
+            # ObjectiveSet is different: it shapes the front, so it rides in
+            # the expectation's refreshable objectives tag (below), like the
+            # surrogate settings.
             fingerprint = campaign_fingerprint(
                 network=network,
                 platform=platform,
@@ -543,7 +565,10 @@ def run_campaign(
                 warm_start=bool(warm_start),
             )
             expectations[(platform.name, scenario.name)] = CellExpectation(
-                fingerprint=fingerprint, donors=donors, surrogate=surrogate_tag
+                fingerprint=fingerprint,
+                donors=donors,
+                surrogate=surrogate_tag,
+                objectives=objectives_tag,
             )
 
     checkpoint: Optional[CampaignCheckpoint] = None
@@ -598,6 +623,7 @@ def run_campaign(
             seed=int(seed),
             warm_seeds=warm_seeds,
             surrogate=cell_surrogate,
+            objectives=objectives,
         )
 
     def finish_cell(key: CellKey, result: SearchResult) -> None:

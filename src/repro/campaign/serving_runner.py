@@ -53,6 +53,7 @@ from ..engine.surrogate import SurrogateSettings
 from ..errors import ConfigurationError
 from ..nn.graph import NetworkGraph
 from ..search.evaluation import EvaluatedConfig
+from ..search.objectives import ObjectiveSet
 from ..serving.bridge import rank_under_traffic
 from ..serving.families import WorkloadFamily, member_traffic_seed, resolve_families
 from ..serving.metrics import ServingMetrics, metric_direction
@@ -346,6 +347,7 @@ def run_serving_campaign(
     cell_workers: Optional[int] = None,
     warm_start: bool = False,
     surrogate: Optional[SurrogateSettings] = None,
+    objectives: Optional[ObjectiveSet] = None,
 ) -> ServingCampaignResult:
     """Search every platform, then sweep workload families over the fronts.
 
@@ -374,9 +376,13 @@ def run_serving_campaign(
         budget overrides); ``None`` searches unconstrained.
     strategy, backend, n_workers, cache, generations, population_size,
     num_stages, accuracy_model, reorder_channels, validation_samples, seed,
-    checkpoint_dir, cell_workers, warm_start, surrogate:
+    checkpoint_dir, cell_workers, warm_start, surrogate, objectives:
         Forwarded to :func:`~repro.campaign.runner.run_campaign` for the
-        search phase.  ``surrogate`` accelerates the per-platform searches;
+        search phase.  ``objectives`` (e.g.
+        :func:`~repro.search.objectives.serving_objectives`) makes every
+        search serving-aware; it enters both the search cells' checkpoint
+        tags and the serving-cell fingerprints, so changing the set re-runs
+        exactly the affected cells.  ``surrogate`` accelerates the per-platform searches;
         replays always deploy the oracle-validated fronts, and the serving
         fingerprint covers the deployed front, so a surrogate-shaped front
         refreshes exactly the affected serving cells.  ``checkpoint_dir`` additionally persists every
@@ -417,12 +423,14 @@ def run_serving_campaign(
         cell_workers=cell_workers,
         warm_start=warm_start,
         surrogate=surrogate,
+        objectives=objectives,
     )
     scenario_name = campaign.scenario_names[0]
     fronts = {
         platform.name: campaign.front(platform.name, scenario_name)
         for platform in platform_objs
     }
+    objectives_descriptor = "" if objectives is None else objectives.describe()
 
     # The serving-cell fingerprint covers everything that shapes the cell:
     # the platform and family *contents*, the replay budget, and the exact
@@ -444,6 +452,7 @@ def run_serving_campaign(
                 metric=metric,
                 deadline_ms=deadline_ms,
                 front=front_fingerprints[platform.name],
+                objectives=objectives_descriptor,
             )
             expectations[(platform.name, family.name)] = CellExpectation(
                 fingerprint=fingerprint

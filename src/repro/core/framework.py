@@ -46,8 +46,13 @@ from ..search.baselines import single_unit_baseline, static_partitioned_baseline
 from ..search.constraints import SearchConstraints
 from ..search.evaluation import ConfigEvaluator, EvaluatedConfig
 from ..search.evolutionary import SearchResult
-from ..search.objectives import paper_objective
-from ..search.pareto import pareto_front, select_energy_oriented, select_latency_oriented
+from ..search.objectives import ObjectiveSet, paper_objective
+from ..search.pareto import (
+    pareto_front,
+    select_energy_oriented,
+    select_latency_oriented,
+    select_serving_oriented,
+)
 from ..search.space import MappingConfig, SearchSpace
 from ..soc.platform import Platform, jetson_agx_xavier
 
@@ -185,6 +190,7 @@ class MapAndConquer:
         cache: "EvaluationCache | str | Path | None" = None,
         initial_population: Optional[Sequence[MappingConfig]] = None,
         surrogate: Optional[SurrogateSettings] = None,
+        objectives: Optional[ObjectiveSet] = None,
     ) -> SearchResult:
         """Run the mapping search (Fig. 5) and return its result.
 
@@ -230,7 +236,21 @@ class MapAndConquer:
             history/pareto/best then contain exclusively real evaluations
             and ``result.surrogate`` carries the
             :class:`~repro.engine.surrogate.SurrogateReport`.
+        objectives:
+            ``None`` (default) keeps the paper's latency/energy/accuracy
+            trio, bit-for-bit.  An
+            :class:`~repro.search.objectives.ObjectiveSet` re-shapes the
+            reported Pareto front, drives the ``"nsga2"`` strategy's
+            non-dominated ranking and crowding over the set's objective
+            matrix, and (with ``surrogate``) trains one GBDT per objective
+            under each spec's declared transform.  Build a serving-aware set
+            with :func:`~repro.search.objectives.serving_objectives`.
         """
+        if objectives is not None and not isinstance(objectives, ObjectiveSet):
+            raise ConfigurationError(
+                f"objectives must be an ObjectiveSet or None, got "
+                f"{type(objectives).__name__}"
+            )
         if surrogate is not None and not isinstance(surrogate, SurrogateSettings):
             raise ConfigurationError(
                 f"surrogate must be a SurrogateSettings or None, got "
@@ -255,6 +275,7 @@ class MapAndConquer:
             mutation_rate=mutation_rate,
             seed=seed,
             initial_population=initial_population,
+            objectives=objectives,
         )
         # The engine ranks the final result; keep its view aligned with the
         # strategy's own objective/constraints when an instance carries them
@@ -279,6 +300,7 @@ class MapAndConquer:
                 evaluator=self.evaluator,
                 settings=surrogate,
                 objective=resolved_objective,
+                objectives=objectives,
                 owns_inner=owns_backend,
             )
             owns_backend = True
@@ -289,6 +311,7 @@ class MapAndConquer:
                 backend=backend_obj,
                 settings=surrogate,
                 objective=resolved_objective,
+                objectives=objectives,
             )
         engine = SearchEngine(
             evaluator=self.evaluator,
@@ -297,6 +320,7 @@ class MapAndConquer:
             constraints=engine_constraints,
             objective=engine_objective if engine_objective is not None else paper_objective,
             platform=self.platform,
+            objectives=objectives,
         )
         try:
             result = engine.run(strategy_obj)
@@ -319,6 +343,7 @@ class MapAndConquer:
         mutation_rate: Optional[float],
         seed: Optional[int],
         initial_population: Optional[Sequence[MappingConfig]] = None,
+        objectives: Optional[ObjectiveSet] = None,
     ) -> SearchStrategy:
         if isinstance(strategy, SearchStrategy):
             conflicting = {
@@ -328,6 +353,7 @@ class MapAndConquer:
                 "mutation_rate": mutation_rate,
                 "seed": seed,
                 "initial_population": initial_population,
+                "objectives": objectives,
             }
             passed = [name for name, value in conflicting.items() if value is not None]
             if passed:
@@ -364,6 +390,7 @@ class MapAndConquer:
                 mutation_rate=mutation_rate,
                 seed=seed,
                 initial_population=initial_population,
+                objectives=objectives,
             )
         if strategy == "random":
             return RandomStrategy(
@@ -615,9 +642,14 @@ class MapAndConquer:
         )
 
     # -- Pareto selection -------------------------------------------------------------
-    def pareto(self, evaluated: Sequence[EvaluatedConfig]) -> list:
-        """Non-dominated subset of ``evaluated``."""
-        return pareto_front(list(evaluated))
+    def pareto(
+        self,
+        evaluated: Sequence[EvaluatedConfig],
+        objectives: Optional[ObjectiveSet] = None,
+    ) -> list:
+        """Non-dominated subset of ``evaluated`` (default objective trio,
+        or a custom :class:`~repro.search.objectives.ObjectiveSet`)."""
+        return pareto_front(list(evaluated), objectives)
 
     def select_latency_oriented(
         self, evaluated: Sequence[EvaluatedConfig], max_accuracy_drop: Optional[float] = None
@@ -630,3 +662,26 @@ class MapAndConquer:
     ) -> EvaluatedConfig:
         """Pick the "Ours-E" model from a (Pareto) set."""
         return select_energy_oriented(list(evaluated), max_accuracy_drop=max_accuracy_drop)
+
+    def select_serving_oriented(
+        self,
+        evaluated: Sequence[EvaluatedConfig],
+        family=None,
+        rate_rps: Optional[float] = None,
+        max_accuracy_drop: Optional[float] = None,
+    ) -> EvaluatedConfig:
+        """Pick the front member that serves ``family`` (or ``rate_rps``) best.
+
+        Unlike :meth:`select_energy_oriented`, which ignores load, this
+        scores each candidate by its isolated latency *plus* the M/D/1
+        queueing delay its throughput implies at the family's peak arrival
+        rate, scaled by relative accuracy — so energy-frugal mappings that
+        saturate under bursts lose to slightly hungrier ones that keep the
+        queue short.  See :func:`repro.search.pareto.select_serving_oriented`.
+        """
+        return select_serving_oriented(
+            list(evaluated),
+            family=family,
+            rate_rps=rate_rps,
+            max_accuracy_drop=max_accuracy_drop,
+        )

@@ -9,11 +9,13 @@ publication.  Only string formatting lives here; all numbers come from
 
 from __future__ import annotations
 
+import math
 from typing import List, Mapping, Optional, Sequence
 
 from ..search.evaluation import EvaluatedConfig
 from ..search.evolutionary import SearchResult
-from ..search.pareto import hypervolume
+from ..search.objectives import ObjectiveSet, as_objective_set
+from ..search.pareto import hypervolume, select_serving_oriented
 
 __all__ = [
     "format_table",
@@ -22,6 +24,7 @@ __all__ = [
     "comparison_row",
     "convergence_table",
     "search_summary",
+    "objective_table",
     "serving_table",
     "serving_summary",
     "campaign_table",
@@ -136,17 +139,71 @@ def convergence_table(result: SearchResult, every: int = 1) -> str:
     return format_table(rows)
 
 
-def serving_table(metrics_list) -> str:
+def objective_table(
+    evaluated: Sequence[EvaluatedConfig],
+    objectives: Optional[ObjectiveSet] = None,
+) -> str:
+    """One row per configuration with the objective set's named columns.
+
+    The default set renders the paper's trio (``latency_ms``, ``energy_mj``,
+    ``accuracy``); a custom :class:`~repro.search.objectives.ObjectiveSet`
+    renders whatever objectives it declares, in declaration order and in
+    their natural units (accuracy as accuracy, not its negation).  Values an
+    extractor cannot produce render as ``inf``.
+    """
+    objective_set = as_objective_set(objectives)
+    rows = []
+    for item in evaluated:
+        row: dict = {"config": item.config.describe()}
+        for spec in objective_set:
+            row[spec.name] = spec.raw_value(item)
+        rows.append(row)
+    return format_table(rows, float_format="{:.4f}")
+
+
+def serving_table(
+    metrics_list,
+    front: Optional[Sequence[EvaluatedConfig]] = None,
+    family=None,
+    rate_rps: Optional[float] = None,
+    max_accuracy_drop: Optional[float] = None,
+) -> str:
     """Side-by-side percentile table of serving runs (one row per policy/run).
 
     Accepts :class:`~repro.serving.metrics.ServingMetrics` instances (their
     ``summary_row`` views are rendered) or ready-made row dictionaries.
+
+    When ``front`` is given (with a workload ``family`` or explicit
+    ``rate_rps``), a footer names the front member
+    :func:`~repro.search.pareto.select_serving_oriented` would deploy for
+    that load — its isolated latency, the M/D/1 queueing delay expected at
+    the peak rate, and its accuracy — so the table answers "which mapping
+    should actually serve this" next to the measured runs.
     """
     rows = [
         metrics.summary_row() if hasattr(metrics, "summary_row") else dict(metrics)
         for metrics in metrics_list
     ]
-    return format_table(rows)
+    table = format_table(rows)
+    if front is None:
+        return table
+    pick = select_serving_oriented(
+        list(front),
+        family=family,
+        rate_rps=rate_rps,
+        max_accuracy_drop=max_accuracy_drop,
+    )
+    from ..serving.policies import Deployment
+
+    rate = float(rate_rps) if rate_rps is not None else float(family.peak_rate_rps)
+    wait = Deployment.from_evaluated(pick).expected_wait_ms(rate)
+    wait_text = f"{wait:.2f} ms wait" if math.isfinite(wait) else "saturated"
+    footer = (
+        f"serving-oriented pick @ {rate:.0f} rps: {pick.config.describe()} "
+        f"({pick.latency_ms:.2f} ms isolated, {wait_text}, "
+        f"{100.0 * pick.accuracy:.1f}% top-1)"
+    )
+    return "\n".join([table, footer])
 
 
 def serving_summary(metrics) -> str:
@@ -266,24 +323,18 @@ def campaign_summary(campaign) -> str:
     return "\n".join(lines)
 
 
-def _shared_reference(fronts: Sequence[Sequence[EvaluatedConfig]]) -> List[float]:
+def _shared_reference(
+    fronts: Sequence[Sequence[EvaluatedConfig]],
+    objectives: Optional[ObjectiveSet] = None,
+) -> List[float]:
     """Reference point dominated by every member of every given front.
 
-    Built from the per-objective maxima over the union (latency, energy,
-    negated accuracy — all minimised), nudged strictly worse so boundary
-    points still contribute volume.  Using one shared reference makes two
-    fronts' hypervolumes directly comparable.
+    Built from the per-objective maxima over the union (the default set's
+    latency, energy, negated accuracy — all minimised), nudged strictly
+    worse so boundary points still contribute volume.  Using one shared
+    reference makes two fronts' hypervolumes directly comparable.
     """
-    keys = (
-        lambda item: item.latency_ms,
-        lambda item: item.energy_mj,
-        lambda item: -item.accuracy,
-    )
-    reference = []
-    for key in keys:
-        worst = max(key(item) for front in fronts for item in front)
-        reference.append(worst + 0.1 * abs(worst) + 1e-9)
-    return reference
+    return as_objective_set(objectives).reference_point(fronts)
 
 
 def surrogate_summary(campaign, baseline=None) -> str:

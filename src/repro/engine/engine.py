@@ -24,7 +24,7 @@ from ..errors import SearchError
 from ..search.constraints import SearchConstraints
 from ..search.evaluation import ConfigEvaluator, EvaluatedConfig
 from ..search.evolutionary import GenerationStats, SearchResult
-from ..search.objectives import paper_objective
+from ..search.objectives import as_objective_set, nan_guarded, paper_objective
 from ..search.pareto import pareto_front
 from ..search.space import MappingConfig
 from .backends import EvaluationBackend, SerialBackend
@@ -52,6 +52,11 @@ class SearchEngine:
         Feasibility gate and scalar objective used for the per-generation
         statistics and the final result assembly (strategies receive their
         own copies, typically the same objects).
+    objectives:
+        :class:`~repro.search.objectives.ObjectiveSet` the final Pareto front
+        is computed over.  ``None`` adopts the strategy's own set when it
+        declares one (NSGA-II), otherwise the default
+        (latency, energy, accuracy) axes.
     platform:
         Platform the constraints are checked against; defaults to the
         evaluator's platform.
@@ -65,12 +70,14 @@ class SearchEngine:
         constraints: Optional[SearchConstraints] = None,
         objective: Callable[[EvaluatedConfig], float] = paper_objective,
         platform=None,
+        objectives=None,
     ) -> None:
         self.evaluator = evaluator
         self.backend = backend if backend is not None else SerialBackend(evaluator)
         self.cache = cache if cache is not None else EvaluationCache()
         self.constraints = constraints if constraints is not None else SearchConstraints()
         self.objective = objective
+        self.objectives = None if objectives is None else as_objective_set(objectives)
         self.platform = platform if platform is not None else evaluator.platform
 
     # -- evaluation --------------------------------------------------------------
@@ -122,6 +129,10 @@ class SearchEngine:
     # -- the loop ----------------------------------------------------------------
     def run(self, strategy: SearchStrategy) -> SearchResult:
         """Run ``strategy`` to exhaustion and assemble the search result."""
+        if self.objectives is None:
+            # Adopt the strategy's declared set so a custom NSGA-II run gets
+            # its final front over the same axes it ranked on.
+            self.objectives = getattr(strategy, "objectives", None)
         history: List[EvaluatedConfig] = []
         seen_digests = set()
         stats: List[GenerationStats] = []
@@ -147,7 +158,7 @@ class SearchEngine:
                 if self.constraints.is_feasible(item, platform=self.platform)
             ]
             ranked_pool = feasible if feasible else evaluated
-            best = min(ranked_pool, key=self.objective)
+            best = min(ranked_pool, key=nan_guarded(self.objective))
             stats.append(
                 GenerationStats(
                     generation=generation,
@@ -178,8 +189,8 @@ class SearchEngine:
             if self.constraints.is_feasible(item, platform=self.platform)
         )
         candidate_pool = all_feasible if all_feasible else tuple(history)
-        front = tuple(pareto_front(list(candidate_pool)))
-        best_overall = min(candidate_pool, key=self.objective)
+        front = tuple(pareto_front(list(candidate_pool), self.objectives))
+        best_overall = min(candidate_pool, key=nan_guarded(self.objective))
         return SearchResult(
             history=tuple(history),
             feasible=all_feasible,

@@ -21,6 +21,7 @@ import numpy as np
 from ..errors import SearchError
 from ..search.constraints import SearchConstraints
 from ..search.evaluation import EvaluatedConfig
+from ..search.objectives import as_objective_set
 from ..search.operators import crossover, mutate
 from ..search.space import MappingConfig, SearchSpace
 from ..utils import as_rng
@@ -29,16 +30,16 @@ from .strategies import SearchStrategy, _check_common_budget, resolve_initial_po
 __all__ = ["objective_matrix", "non_dominated_sort", "crowding_distance", "NSGA2Strategy"]
 
 
-def objective_matrix(evaluated: Sequence[EvaluatedConfig]) -> np.ndarray:
-    """Stack the paper's three objectives as rows of minimised values.
+def objective_matrix(
+    evaluated: Sequence[EvaluatedConfig], objectives=None
+) -> np.ndarray:
+    """Stack the objective set as rows of minimised values.
 
-    Columns are (latency, energy, -accuracy), matching the keys the seed's
-    Pareto analysis minimises.
+    The default set's columns are (latency, energy, -accuracy), matching the
+    keys the seed's Pareto analysis minimises; a custom
+    :class:`~repro.search.objectives.ObjectiveSet` adds or replaces columns.
     """
-    return np.array(
-        [[item.latency_ms, item.energy_mj, -item.accuracy] for item in evaluated],
-        dtype=float,
-    )
+    return as_objective_set(objectives).matrix(evaluated)
 
 
 def _dominates_row(first: np.ndarray, second: np.ndarray) -> bool:
@@ -89,15 +90,26 @@ def crowding_distance(values: np.ndarray) -> np.ndarray:
     if count <= 2:
         return np.full(count, np.inf)
     for objective in range(num_objectives):
-        order = np.argsort(values[:, objective], kind="stable")
-        spread = values[order[-1], objective] - values[order[0], objective]
+        column = values[:, objective]
+        if not np.all(np.isfinite(column)):
+            # Saturated serving objectives legitimately score inf; clamping
+            # the non-finite entries to the finite range keeps every gap and
+            # gap/spread below well defined (inf - inf or inf/inf would put
+            # NaN into the survivor sort).  The clamped entries still sort to
+            # the column's ends and collect infinite boundary distance.
+            finite = column[np.isfinite(column)]
+            if finite.size == 0:
+                continue
+            column = np.clip(column, finite.min(), finite.max())
+        order = np.argsort(column, kind="stable")
+        spread = column[order[-1]] - column[order[0]]
         distance[order[0]] = np.inf
         distance[order[-1]] = np.inf
         if spread <= 0:
             continue
         for position in range(1, count - 1):
             index = order[position]
-            gap = values[order[position + 1], objective] - values[order[position - 1], objective]
+            gap = column[order[position + 1]] - column[order[position - 1]]
             distance[index] += gap / spread
     return distance
 
@@ -121,6 +133,7 @@ class NSGA2Strategy(SearchStrategy):
         mutation_rate: float = 0.8,
         seed: "int | np.random.Generator | None" = 0,
         initial_population: Optional[Sequence[MappingConfig]] = None,
+        objectives=None,
     ) -> None:
         _check_common_budget(population_size, generations)
         if not 0 <= mutation_rate <= 1:
@@ -130,6 +143,7 @@ class NSGA2Strategy(SearchStrategy):
         self.population_size = population_size
         self.generations = generations
         self.mutation_rate = mutation_rate
+        self.objectives = as_objective_set(objectives)
         self.initial_population = resolve_initial_population(
             initial_population, population_size
         )
@@ -184,7 +198,7 @@ class NSGA2Strategy(SearchStrategy):
         for group in (feasible_idx, infeasible_idx):
             if not group:
                 continue
-            values = objective_matrix([items[i] for i in group])
+            values = objective_matrix([items[i] for i in group], self.objectives)
             fronts = non_dominated_sort(values)
             for front_rank, front in enumerate(fronts):
                 front_values = values[front]

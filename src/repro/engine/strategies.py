@@ -26,7 +26,7 @@ import numpy as np
 from ..errors import SearchError
 from ..search.constraints import SearchConstraints
 from ..search.evaluation import EvaluatedConfig
-from ..search.objectives import paper_objective
+from ..search.objectives import nan_guarded, paper_objective
 from ..search.operators import crossover, mutate
 from ..search.space import MappingConfig, SearchSpace
 from ..utils import as_rng
@@ -68,7 +68,15 @@ class SearchStrategy:
     The engine alternates ``ask`` / ``tell`` until ``ask`` returns an empty
     batch, then assembles the :class:`~repro.search.evolutionary.SearchResult`
     from everything evaluated along the way.
+
+    A strategy that optimises a specific
+    :class:`~repro.search.objectives.ObjectiveSet` (NSGA-II does) exposes it
+    as ``objectives`` so the engine can assemble the final Pareto front over
+    the same axes the strategy ranked on; scalar strategies leave it ``None``
+    and the engine falls back to the default set.
     """
+
+    objectives = None
 
     def ask(self) -> List[MappingConfig]:
         """Propose the next batch of configurations (empty when done)."""
@@ -149,7 +157,9 @@ class EvolutionaryStrategy(SearchStrategy):
             for item in evaluated
             if self.constraints.is_feasible(item, platform=self.space.platform)
         ]
-        ranked = sorted(feasible if feasible else list(evaluated), key=self.objective)
+        ranked = sorted(
+            feasible if feasible else list(evaluated), key=nan_guarded(self.objective)
+        )
         self._generation += 1
         if self._generation < self.generations:
             self._population = self._next_population(ranked)

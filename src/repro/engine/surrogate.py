@@ -49,6 +49,7 @@ from ..errors import ConfigurationError
 from ..perf.dataset import encode_mapping_features
 from ..perf.gbdt import GradientBoostedTrees
 from ..search.evaluation import ConfigEvaluator, EvaluatedConfig
+from ..search.objectives import DEFAULT_OBJECTIVES, ObjectiveSet, as_objective_set
 from ..search.pareto import hypervolume, pareto_front
 from ..search.space import MappingConfig
 from .backends import EvaluationBackend
@@ -145,6 +146,12 @@ class SurrogatePrediction:
     stored_feature_bytes: int
     base_accuracy: float
     objective_value: float
+    #: Predicted raw values of custom objective specs (beyond the default
+    #: latency/energy/accuracy trio), keyed by spec name.  The objective
+    #: layer reads these so custom axes flow through Pareto analysis of
+    #: predictions without re-running their extractors (which need oracle
+    #: structure predictions do not carry).
+    objective_values: Optional[Dict[str, float]] = None
 
     @property
     def accuracy_drop(self) -> float:
@@ -185,18 +192,56 @@ def _symexp(value: float) -> float:
 _POSITIVE_TARGETS = ("latency_ms", "energy_mj", "worst_case_latency_ms", "worst_case_energy_mj")
 
 
+def _transform_target(value: float, transform: str) -> float:
+    """Apply a spec's declared training-space transform to one raw target."""
+    if transform == "log1p":
+        return float(np.log1p(max(value, 0.0)))
+    if transform == "symlog":
+        return _symlog(value)
+    return float(value)
+
+
+def _inverse_transform(value: float, spec) -> float:
+    """Map one model output back to the spec's raw units (with clipping)."""
+    if spec.transform == "log1p":
+        raw = max(float(np.expm1(value)), 1e-9)
+    elif spec.transform == "symlog":
+        raw = _symexp(float(value))
+    else:
+        raw = float(value)
+    if spec.clip is not None:
+        low, high = spec.clip
+        raw = float(np.clip(raw, low, high))
+    return raw
+
+
 class _SurrogateModel:
-    """Per-objective GBDT ensemble over structural mapping features."""
+    """Per-objective GBDT ensemble over structural mapping features.
+
+    The five structural targets (latency, energy, their worst cases and
+    accuracy) plus the scalar search objective are always modelled — they
+    back constraint checks and scalar selection regardless of what the
+    search optimises.  Every :class:`~repro.search.objectives.ObjectiveSpec`
+    beyond the default trio gets its own additional model, trained under the
+    spec's declared transform on the rows where its extractor is finite, so
+    the surrogate learns whatever axes the search actually ranks on
+    (NSGANetV2's "model the search objectives" rule).
+    """
 
     def __init__(
         self,
         evaluator: ConfigEvaluator,
         settings: SurrogateSettings,
         objective: Callable[[EvaluatedConfig], float],
+        objectives: Optional[ObjectiveSet] = None,
     ) -> None:
         self.evaluator = evaluator
         self.settings = settings
         self.objective = objective
+        self.objectives = as_objective_set(objectives)
+        self._extra_specs = tuple(
+            spec for spec in self.objectives if spec not in DEFAULT_OBJECTIVES.specs
+        )
         self._rows: Dict[str, Tuple[np.ndarray, Dict[str, float]]] = {}
         self._models: Dict[str, GradientBoostedTrees] = {}
         self._dirty = False
@@ -212,7 +257,16 @@ class _SurrogateModel:
         finite = sum(
             1 for _, targets in self._rows.values() if math.isfinite(targets["objective"])
         )
-        return finite >= self.settings.min_training_rows
+        if finite < self.settings.min_training_rows:
+            return False
+        for spec in self._extra_specs:
+            key = f"spec:{spec.name}"
+            spec_finite = sum(
+                1 for _, targets in self._rows.values() if math.isfinite(targets[key])
+            )
+            if spec_finite < self.settings.min_training_rows:
+                return False
+        return True
 
     def featurize(self, config: MappingConfig) -> np.ndarray:
         return encode_mapping_features(
@@ -231,6 +285,8 @@ class _SurrogateModel:
             "accuracy": float(evaluated.accuracy),
             "objective": float(self.objective(evaluated)),
         }
+        for spec in self._extra_specs:
+            targets[f"spec:{spec.name}"] = float(spec.raw_value(evaluated))
         self._rows[digest] = (self.featurize(evaluated.config), targets)
         self._dirty = True
         return True
@@ -254,6 +310,23 @@ class _SurrogateModel:
         self._models["objective"] = self._new_model().fit(
             objective_features, objective_targets
         )
+        for spec in self._extra_specs:
+            key = f"spec:{spec.name}"
+            spec_rows = [
+                (row_features, t[key])
+                for row_features, t in rows
+                if math.isfinite(t[key])
+            ]
+            if not spec_rows:
+                # Every observation saturated (e.g. an expected-wait objective
+                # at a rate no mapping sustains): there is nothing to learn,
+                # so predictions report inf for this spec.
+                continue
+            spec_features = np.vstack([row_features for row_features, _ in spec_rows])
+            spec_targets = np.array(
+                [_transform_target(value, spec.transform) for _, value in spec_rows]
+            )
+            self._models[key] = self._new_model().fit(spec_features, spec_targets)
         self._dirty = False
 
     def _new_model(self) -> GradientBoostedTrees:
@@ -279,6 +352,17 @@ class _SurrogateModel:
         predictions: List[SurrogatePrediction] = []
         for index, config in enumerate(configs):
             row = features[index]
+            extra_values: Optional[Dict[str, float]] = None
+            if self._extra_specs:
+                extra_values = {}
+                for spec in self._extra_specs:
+                    key = f"spec:{spec.name}"
+                    if key in outputs:
+                        extra_values[spec.name] = _inverse_transform(
+                            float(outputs[key][index]), spec
+                        )
+                    else:
+                        extra_values[spec.name] = float("inf")
             predictions.append(
                 SurrogatePrediction(
                     config=config,
@@ -296,6 +380,7 @@ class _SurrogateModel:
                     stored_feature_bytes=int(round(row[-1])),
                     base_accuracy=base_accuracy,
                     objective_value=_symexp(float(outputs["objective"][index])),
+                    objective_values=extra_values,
                 )
             )
         return predictions
@@ -318,6 +403,7 @@ class SurrogateEvaluationBackend(EvaluationBackend):
         settings: SurrogateSettings,
         objective: Callable[[EvaluatedConfig], float],
         owns_inner: bool = False,
+        objectives: Optional[ObjectiveSet] = None,
     ) -> None:
         if not isinstance(inner, EvaluationBackend):
             raise ConfigurationError(
@@ -326,7 +412,7 @@ class SurrogateEvaluationBackend(EvaluationBackend):
         self.inner = inner
         self.evaluator = evaluator
         self.settings = settings
-        self.model = _SurrogateModel(evaluator, settings, objective)
+        self.model = _SurrogateModel(evaluator, settings, objective, objectives)
         self.owns_inner = bool(owns_inner)
         #: Configurations actually sent to the wrapped backend.  Informational
         #: only — cache sharing makes this schedule-dependent, so reports use
@@ -428,6 +514,28 @@ def _spearman(first: Sequence[float], second: Sequence[float]) -> float:
     return covariance / (std_a * std_b)
 
 
+def _validation_reference(
+    front: Sequence[SurrogatePrediction], objective_set: ObjectiveSet
+) -> List[float]:
+    """Hypervolume reference slightly worse than the predicted front.
+
+    Reproduces the historical nudges per direction: minimised positive
+    metrics get a 10 % margin, maximised ones an absolute 0.1.  Saturated
+    (infinite) predictions are excluded from the bound — they cannot anchor
+    a finite reference and contribute no volume anyway.
+    """
+    reference: List[float] = []
+    for spec in objective_set:
+        values = [spec.value(item) for item in front]
+        finite = [value for value in values if math.isfinite(value)]
+        worst = max(finite) if finite else 1.0
+        if spec.direction == "max":
+            reference.append(worst + 0.1 + 1e-9)
+        else:
+            reference.append(worst * 1.1 + 1e-9)
+    return reference
+
+
 class SurrogateAssistedStrategy(SearchStrategy):
     """Adapt an inner ask/tell strategy to search through the surrogate.
 
@@ -448,11 +556,13 @@ class SurrogateAssistedStrategy(SearchStrategy):
         backend: SurrogateEvaluationBackend,
         settings: SurrogateSettings,
         objective: Callable[[EvaluatedConfig], float],
+        objectives: Optional[ObjectiveSet] = None,
     ) -> None:
         self.inner = inner
         self.backend = backend
         self.settings = settings
         self.oracle_objective = objective
+        self.objectives = as_objective_set(objectives)
         self._phase = "bootstrap"
         self._pending: Optional[str] = None
         self._pending_predictions: List[SurrogatePrediction] = []
@@ -580,7 +690,7 @@ class SurrogateAssistedStrategy(SearchStrategy):
         ]
         if not candidates:
             return []
-        front = pareto_front(candidates)
+        front = pareto_front(candidates, self.objectives)
         cap = self.settings.validation_cap
         if len(front) <= cap:
             return front
@@ -592,18 +702,14 @@ class SurrogateAssistedStrategy(SearchStrategy):
         # Inputs are seed-determined and ties resolve to the lowest archive
         # insertion index (strict ``>``), so the picks are identical whatever
         # the backend or cell scheduling.
-        reference = [
-            max(item.latency_ms for item in front) * 1.1 + 1e-9,
-            max(item.energy_mj for item in front) * 1.1 + 1e-9,
-            max(-item.accuracy for item in front) + 0.1 + 1e-9,
-        ]
+        reference = _validation_reference(front, self.objectives)
         picked: List[SurrogatePrediction] = []
         remaining = list(range(len(front)))
         while len(picked) < cap and remaining:
             best_index = remaining[0]
             best_volume = -math.inf
             for index in remaining:
-                volume = hypervolume(picked + [front[index]], reference)
+                volume = hypervolume(picked + [front[index]], reference, self.objectives)
                 if volume > best_volume:
                     best_volume = volume
                     best_index = index

@@ -7,8 +7,11 @@ The search jointly optimises the configuration ``Pi = (P, I, M, theta)``:
 * :mod:`repro.search.evaluation` -- the evaluation pipeline turning a
   configuration into hardware + dynamic-inference metrics (Fig. 5's
   "Evaluate" box),
-* :mod:`repro.search.objectives` -- the composite objective of Eq. 16 and
-  latency/energy-oriented scalarisations,
+* :mod:`repro.search.objectives` -- the composite objective of Eq. 16,
+  latency/energy/serving-oriented scalarisations, and the first-class
+  :class:`~repro.search.objectives.ObjectiveSet` layer (named objectives
+  with directions and surrogate transforms, pluggable through the engine,
+  surrogate and campaigns),
 * :mod:`repro.search.constraints` -- the constraint filter of Eq. 15,
 * :mod:`repro.search.operators` -- mutation and crossover,
 * :mod:`repro.search.pareto` -- non-dominated sorting and Pareto selection,
@@ -20,10 +23,27 @@ The search jointly optimises the configuration ``Pi = (P, I, M, theta)``:
 
 from .space import MappingConfig, SearchSpace
 from .evaluation import ConfigEvaluator, EvaluatedConfig
-from .objectives import energy_oriented_objective, latency_oriented_objective, paper_objective
+from .objectives import (
+    DEFAULT_OBJECTIVES,
+    ObjectiveSet,
+    ObjectiveSpec,
+    as_objective_set,
+    default_objective_set,
+    energy_oriented_objective,
+    latency_oriented_objective,
+    nan_guarded,
+    paper_objective,
+    serving_objectives,
+    serving_oriented_objective,
+)
 from .constraints import SearchConstraints
 from .operators import crossover, mutate
-from .pareto import pareto_front, select_energy_oriented, select_latency_oriented
+from .pareto import (
+    pareto_front,
+    select_energy_oriented,
+    select_latency_oriented,
+    select_serving_oriented,
+)
 from .evolutionary import EvolutionarySearch, SearchResult
 from .baselines import (
     random_search,
@@ -39,12 +59,21 @@ __all__ = [
     "paper_objective",
     "energy_oriented_objective",
     "latency_oriented_objective",
+    "serving_oriented_objective",
+    "nan_guarded",
+    "ObjectiveSpec",
+    "ObjectiveSet",
+    "DEFAULT_OBJECTIVES",
+    "default_objective_set",
+    "serving_objectives",
+    "as_objective_set",
     "SearchConstraints",
     "mutate",
     "crossover",
     "pareto_front",
     "select_energy_oriented",
     "select_latency_oriented",
+    "select_serving_oriented",
     "EvolutionarySearch",
     "SearchResult",
     "single_unit_baseline",

@@ -30,7 +30,7 @@ from ..soc.platform import Platform
 from ..utils import as_rng
 from .constraints import SearchConstraints
 from .evaluation import ConfigEvaluator, EvaluatedConfig
-from .objectives import paper_objective
+from .objectives import nan_guarded, paper_objective
 from .space import MappingConfig, SearchSpace
 
 __all__ = ["single_unit_baseline", "static_partitioned_baseline", "random_search"]
@@ -132,4 +132,6 @@ def random_search(
     evaluated = [evaluator.evaluate(space.sample(rng)) for _ in range(num_samples)]
     feasible = [item for item in evaluated if gate.is_feasible(item, platform=space.platform)]
     pool = feasible if feasible else evaluated
-    return sorted(pool, key=objective)
+    # A NaN-returning objective would shuffle rather than sort (every NaN
+    # comparison is false); nan_guarded pins undefined scores to the back.
+    return sorted(pool, key=nan_guarded(objective))

@@ -1,4 +1,4 @@
-"""Search objectives (Sect. V-B).
+"""Search objectives (Sect. V-B) and the pluggable objective layer.
 
 The paper's composite objective (Eq. 16) rewards configurations whose early
 stages absorb many samples cheaply while keeping the final-stage accuracy
@@ -12,16 +12,43 @@ cumulative energy of instantiating the first ``i`` stages (Eq. 14).  Smaller
 is better.  Two additional scalarisations -- latency-oriented and
 energy-oriented -- are provided for selecting the "Ours-L" and "Ours-E"
 models of Table II from a Pareto set.
+
+On top of the scalarisations, this module defines the *objective layer* the
+multi-objective machinery is built on: an :class:`ObjectiveSpec` names one
+axis (how to extract it from an :class:`~repro.search.evaluation.EvaluatedConfig`,
+whether it is minimised or maximised, and which transform a surrogate should
+train it under), and an :class:`ObjectiveSet` bundles the axes the search
+optimises.  :func:`default_objective_set` reproduces the historical
+(latency, energy, -accuracy) behaviour exactly; :func:`serving_objectives`
+extends it with the M/D/1 expected queueing wait so NSGA-II optimises for
+load directly.
 """
 
 from __future__ import annotations
 
+import hashlib
+import math
+import types
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
 from .evaluation import EvaluatedConfig
 
 __all__ = [
     "paper_objective",
     "latency_oriented_objective",
     "energy_oriented_objective",
+    "serving_oriented_objective",
+    "nan_guarded",
+    "ObjectiveSpec",
+    "ObjectiveSet",
+    "default_objective_set",
+    "serving_objectives",
+    "as_objective_set",
+    "DEFAULT_OBJECTIVES",
 ]
 
 #: Numerical floor preventing division by a zero final-stage accuracy.
@@ -59,3 +86,316 @@ def energy_oriented_objective(evaluated: EvaluatedConfig) -> float:
     accuracy = max(_MIN_ACCURACY, evaluated.accuracy)
     accuracy_term = evaluated.dynamic_network.network.base_accuracy / accuracy
     return evaluated.energy_mj * accuracy_term
+
+
+def serving_oriented_objective(evaluated: EvaluatedConfig, rate_rps: float) -> float:
+    """Sojourn time under load penalised by accuracy loss.
+
+    Scores a candidate by its M/D/1 response time — service latency plus the
+    expected queueing wait at ``rate_rps`` requests/s — times the same
+    accuracy penalty the other scalarisations use.  A mapping whose
+    bottleneck saturates at the offered rate scores ``inf`` and sorts last.
+    """
+    from ..serving.policies import Deployment
+
+    accuracy = max(_MIN_ACCURACY, evaluated.accuracy)
+    accuracy_term = evaluated.dynamic_network.network.base_accuracy / accuracy
+    wait_ms = Deployment.from_evaluated(evaluated).expected_wait_ms(rate_rps)
+    return (evaluated.latency_ms + wait_ms) * accuracy_term
+
+
+def nan_guarded(
+    objective: Callable[[EvaluatedConfig], float]
+) -> Callable[[EvaluatedConfig], float]:
+    """Wrap a scalar objective so NaN scores sort last instead of randomly.
+
+    ``sorted(pool, key=objective)`` silently mis-orders a pool when the key
+    returns NaN (every comparison against NaN is false, so NaN entries keep
+    whatever position the sort happens to probe).  Mapping NaN to ``+inf``
+    keeps degenerate candidates deterministically at the bottom; finite and
+    ``inf`` scores pass through unchanged.
+    """
+
+    def guarded(item: EvaluatedConfig) -> float:
+        value = float(objective(item))
+        return float("inf") if math.isnan(value) else value
+
+    return guarded
+
+
+# -- the objective layer ---------------------------------------------------------
+
+_DIRECTIONS = ("min", "max")
+_TRANSFORMS = ("log1p", "symlog", "raw")
+
+
+def _latency_extractor(item: EvaluatedConfig) -> float:
+    return item.latency_ms
+
+
+def _energy_extractor(item: EvaluatedConfig) -> float:
+    return item.energy_mj
+
+
+def _accuracy_extractor(item: EvaluatedConfig) -> float:
+    return item.accuracy
+
+
+@dataclass(frozen=True)
+class ExpectedWaitExtractor:
+    """Picklable extractor: M/D/1 expected queueing wait at a fixed rate.
+
+    Distills the candidate into a :class:`~repro.serving.policies.Deployment`
+    and reads :meth:`~repro.serving.policies.Deployment.expected_wait_ms` at
+    ``rate_rps`` — ``inf`` when the bottleneck compute unit saturates, which
+    the objective layer treats as "worst possible", so saturated mappings are
+    dominated by every mapping that keeps up with the offered load.
+    """
+
+    rate_rps: float
+
+    def __call__(self, item: EvaluatedConfig) -> float:
+        from ..serving.policies import Deployment
+
+        return Deployment.from_evaluated(item).expected_wait_ms(self.rate_rps)
+
+
+def _extractor_identity(extractor: Callable[[EvaluatedConfig], float]) -> str:
+    """Stable, process-independent identity of an extractor callable.
+
+    Module-level functions are identified by qualified name; other callables
+    (frozen dataclasses such as :class:`ExpectedWaitExtractor`) by ``repr``,
+    which for dataclasses encodes the class and every field value.  Plain
+    ``repr`` of a function would embed a memory address and break
+    fingerprints across processes.
+    """
+    if isinstance(extractor, (types.FunctionType, types.BuiltinFunctionType)):
+        return f"{extractor.__module__}.{extractor.__qualname__}"
+    return repr(extractor)
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """One named search objective.
+
+    Parameters
+    ----------
+    name:
+        Column name in reports and key in surrogate predictions.
+    extractor:
+        Callable mapping an :class:`~repro.search.evaluation.EvaluatedConfig`
+        to the raw objective value.  Must be picklable (a module-level
+        function or a frozen-dataclass instance), because campaign cells ship
+        their objectives to worker processes.
+    direction:
+        ``"min"`` or ``"max"``; internally every objective is minimised, so
+        ``"max"`` values are negated at the boundary.
+    transform:
+        How a surrogate trains this target: ``"log1p"`` for positive
+        heavy-tailed metrics, ``"symlog"`` for signed heavy-tailed values,
+        ``"raw"`` for already-bounded values.
+    clip:
+        Optional ``(low, high)`` bounds applied to surrogate predictions of
+        the raw value (e.g. accuracies live in ``[0, 1]``).
+    """
+
+    name: str
+    extractor: Callable[[EvaluatedConfig], float]
+    direction: str = "min"
+    transform: str = "log1p"
+    clip: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("objective name must be non-empty")
+        if self.direction not in _DIRECTIONS:
+            raise ConfigurationError(
+                f"objective direction must be one of {_DIRECTIONS}, got {self.direction!r}"
+            )
+        if self.transform not in _TRANSFORMS:
+            raise ConfigurationError(
+                f"objective transform must be one of {_TRANSFORMS}, got {self.transform!r}"
+            )
+        if not callable(self.extractor):
+            raise ConfigurationError(
+                f"objective extractor must be callable, got {type(self.extractor).__name__}"
+            )
+
+    def raw_value(self, item: EvaluatedConfig) -> float:
+        """The objective in its natural units (accuracy as accuracy, etc.).
+
+        Surrogate predictions carry an ``objective_values`` mapping with the
+        predicted raw value per spec name; anything else goes through the
+        extractor.
+        """
+        predicted = getattr(item, "objective_values", None)
+        if predicted is not None and self.name in predicted:
+            return float(predicted[self.name])
+        return float(self.extractor(item))
+
+    def value(self, item: EvaluatedConfig) -> float:
+        """The minimised objective value, with NaN mapped to ``+inf``.
+
+        NaN from a degenerate extractor would otherwise silently poison
+        sorting and domination checks (every comparison against NaN is
+        false); mapping it to ``inf`` makes "undefined" deterministically
+        worst.
+        """
+        raw = self.raw_value(item)
+        if math.isnan(raw):
+            return float("inf")
+        return -raw if self.direction == "max" else raw
+
+    def describe(self) -> str:
+        """Canonical one-line identity used in checkpoint fingerprints."""
+        return (
+            f"{self.name}:{self.direction}:{self.transform}:{self.clip!r}:"
+            f"{_extractor_identity(self.extractor)}"
+        )
+
+
+@dataclass(frozen=True)
+class ObjectiveSet:
+    """The ordered, named objectives one search minimises jointly.
+
+    The set is what gets threaded through the stack: Pareto analysis and
+    NSGA-II ranking read :meth:`values` / :meth:`matrix`, the surrogate
+    trains one model per spec under the spec's declared transform, reports
+    render one column per name, and campaign checkpoints embed
+    :meth:`describe` so a changed set re-runs exactly the affected cells.
+    """
+
+    specs: Tuple[ObjectiveSpec, ...]
+
+    def __post_init__(self) -> None:
+        specs = tuple(self.specs)
+        object.__setattr__(self, "specs", specs)
+        if not specs:
+            raise ConfigurationError("an ObjectiveSet needs at least one objective")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"objective names must be unique, got {names}")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[ObjectiveSpec]:
+        return iter(self.specs)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.specs)
+
+    def values(self, item: EvaluatedConfig) -> Tuple[float, ...]:
+        """Minimised objective vector of one candidate."""
+        return tuple(spec.value(item) for spec in self.specs)
+
+    def matrix(self, evaluated: Sequence[EvaluatedConfig]) -> np.ndarray:
+        """Stack :meth:`values` rows for NSGA-II's non-dominated sorting."""
+        return np.array([self.values(item) for item in evaluated], dtype=float)
+
+    def reference_point(
+        self, fronts: Sequence[Sequence[EvaluatedConfig]]
+    ) -> List[float]:
+        """Shared hypervolume reference slightly worse than every candidate."""
+        reference: List[float] = []
+        for spec in self.specs:
+            worst = max(spec.value(item) for front in fronts for item in front)
+            reference.append(worst + 0.1 * abs(worst) + 1e-9)
+        return reference
+
+    def describe(self) -> str:
+        """Canonical identity string (stable across processes and runs)."""
+        return " | ".join(spec.describe() for spec in self.specs)
+
+    def fingerprint(self) -> str:
+        """Short digest of :meth:`describe` for checkpoint records."""
+        return hashlib.sha256(self.describe().encode("utf-8")).hexdigest()[:16]
+
+
+#: The historical axes: minimise latency and energy, maximise accuracy.
+_LATENCY_SPEC = ObjectiveSpec(
+    name="latency_ms", extractor=_latency_extractor, direction="min", transform="log1p"
+)
+_ENERGY_SPEC = ObjectiveSpec(
+    name="energy_mj", extractor=_energy_extractor, direction="min", transform="log1p"
+)
+_ACCURACY_SPEC = ObjectiveSpec(
+    name="accuracy",
+    extractor=_accuracy_extractor,
+    direction="max",
+    transform="raw",
+    clip=(0.0, 1.0),
+)
+
+DEFAULT_OBJECTIVES = ObjectiveSet(specs=(_LATENCY_SPEC, _ENERGY_SPEC, _ACCURACY_SPEC))
+
+
+def default_objective_set() -> ObjectiveSet:
+    """The (latency, energy, accuracy) set, byte-identical to the seed keys."""
+    return DEFAULT_OBJECTIVES
+
+
+def serving_objectives(
+    family=None, target_rps: Optional[float] = None
+) -> ObjectiveSet:
+    """Default axes plus the M/D/1 expected wait at the family's peak rate.
+
+    Turns the PR-7 queueing helpers into a fourth search objective: NSGA-II
+    then trades latency/energy/accuracy against how gracefully a mapping
+    absorbs the offered load, instead of discovering saturation only when the
+    serving campaign replays traffic afterwards.
+
+    Parameters
+    ----------
+    family:
+        A :class:`~repro.serving.families.WorkloadFamily`; its
+        ``peak_rate_rps`` sets the rate the wait is evaluated at.
+    target_rps:
+        Explicit rate in requests/s, overriding (or replacing) the family.
+    """
+    if target_rps is None:
+        if family is None:
+            raise ConfigurationError(
+                "serving_objectives needs a workload family or an explicit target_rps"
+            )
+        target_rps = family.peak_rate_rps
+    rate = float(target_rps)
+    if not rate > 0.0:
+        raise ConfigurationError(f"target_rps must be positive, got {target_rps}")
+    wait_spec = ObjectiveSpec(
+        name="expected_wait_ms",
+        extractor=ExpectedWaitExtractor(rate_rps=rate),
+        direction="min",
+        transform="log1p",
+    )
+    return ObjectiveSet(specs=DEFAULT_OBJECTIVES.specs + (wait_spec,))
+
+
+def as_objective_set(objectives) -> ObjectiveSet:
+    """Coerce ``None`` / an ``ObjectiveSet`` / legacy key sequences.
+
+    ``None`` resolves to the default set.  A sequence of plain callables (the
+    seed's ``keys=`` convention: every key already minimised) is wrapped into
+    anonymous specs so older call sites keep working.
+    """
+    if objectives is None:
+        return DEFAULT_OBJECTIVES
+    if isinstance(objectives, ObjectiveSet):
+        return objectives
+    if isinstance(objectives, ObjectiveSpec):
+        return ObjectiveSet(specs=(objectives,))
+    try:
+        keys = tuple(objectives)
+    except TypeError:
+        raise ConfigurationError(
+            f"objectives must be an ObjectiveSet or a sequence of callables, "
+            f"got {type(objectives).__name__}"
+        )
+    specs = tuple(
+        ObjectiveSpec(
+            name=f"objective_{index}", extractor=key, direction="min", transform="symlog"
+        )
+        for index, key in enumerate(keys)
+    )
+    return ObjectiveSet(specs=specs)

@@ -4,17 +4,27 @@ Once the search budget expires, the paper computes a Pareto set over all
 generated populations and extracts the preferred dynamic mapping from it
 (Sect. V-C); Table II then reports the most latency-oriented ("Ours-L") and
 most energy-oriented ("Ours-E") Pareto models.  This module provides the
-non-dominated sorting over the (latency, energy, accuracy) objectives and the
-two selection rules.
+non-dominated sorting and the selection rules.
+
+Which axes are sorted is no longer hardwired: every function takes an
+optional :class:`~repro.search.objectives.ObjectiveSet` (or, for backward
+compatibility, a sequence of already-minimised key callables) and defaults to
+:data:`~repro.search.objectives.DEFAULT_OBJECTIVES` — the seed's
+(latency, energy, -accuracy) behaviour, byte for byte.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..errors import SearchError
 from .evaluation import EvaluatedConfig
-from .objectives import energy_oriented_objective, latency_oriented_objective
+from .objectives import (
+    as_objective_set,
+    energy_oriented_objective,
+    latency_oriented_objective,
+    serving_oriented_objective,
+)
 
 __all__ = [
     "dominates",
@@ -22,24 +32,19 @@ __all__ = [
     "hypervolume",
     "select_latency_oriented",
     "select_energy_oriented",
+    "select_serving_oriented",
 ]
-
-#: Default objective extractors: minimise latency and energy, maximise accuracy.
-_DEFAULT_KEYS: Sequence[Callable[[EvaluatedConfig], float]] = (
-    lambda e: e.latency_ms,
-    lambda e: e.energy_mj,
-    lambda e: -e.accuracy,
-)
 
 
 def dominates(
     first: EvaluatedConfig,
     second: EvaluatedConfig,
-    keys: Sequence[Callable[[EvaluatedConfig], float]] = _DEFAULT_KEYS,
+    objectives=None,
 ) -> bool:
-    """Whether ``first`` Pareto-dominates ``second`` (all keys minimised)."""
-    first_values = [key(first) for key in keys]
-    second_values = [key(second) for key in keys]
+    """Whether ``first`` Pareto-dominates ``second`` (all objectives minimised)."""
+    objective_set = as_objective_set(objectives)
+    first_values = objective_set.values(first)
+    second_values = objective_set.values(second)
     no_worse = all(a <= b for a, b in zip(first_values, second_values))
     strictly_better = any(a < b for a, b in zip(first_values, second_values))
     return no_worse and strictly_better
@@ -47,12 +52,17 @@ def dominates(
 
 def pareto_front(
     evaluated: Sequence[EvaluatedConfig],
-    keys: Sequence[Callable[[EvaluatedConfig], float]] = _DEFAULT_KEYS,
+    objectives=None,
 ) -> list:
     """Non-dominated subset of ``evaluated`` under the given objectives."""
+    objective_set = as_objective_set(objectives)
     front = []
     for candidate in evaluated:
-        if any(dominates(other, candidate, keys) for other in evaluated if other is not candidate):
+        if any(
+            dominates(other, candidate, objective_set)
+            for other in evaluated
+            if other is not candidate
+        ):
             continue
         front.append(candidate)
     return front
@@ -80,26 +90,28 @@ def _hv_recursive(points: Sequence[Sequence[float]], reference: Sequence[float])
 def hypervolume(
     evaluated: Sequence[EvaluatedConfig],
     reference: Sequence[float],
-    keys: Sequence[Callable[[EvaluatedConfig], float]] = _DEFAULT_KEYS,
+    objectives=None,
 ) -> float:
     """Dominated hypervolume of ``evaluated`` against a reference point.
 
-    All objectives are minimised (the default keys are latency, energy and
-    negated accuracy); ``reference`` is a point in the same key space that
-    every interesting candidate should dominate — typically slightly worse
-    than the worst observed values.  Candidates that fail to dominate the
-    reference in some objective contribute nothing and are dropped.  The
+    All objectives are minimised (the default set is latency, energy and
+    negated accuracy); ``reference`` is a point in the same minimised space
+    that every interesting candidate should dominate — typically slightly
+    worse than the worst observed values.  Candidates that fail to dominate
+    the reference in some objective contribute nothing and are dropped.  The
     result grows monotonically as a search discovers better fronts, which is
     what the warm-start convergence benchmark measures.
     """
+    objective_set = as_objective_set(objectives)
     reference = tuple(float(value) for value in reference)
-    if len(reference) != len(keys):
+    if len(reference) != len(objective_set):
         raise SearchError(
-            f"reference point has {len(reference)} coordinates for {len(keys)} objectives"
+            f"reference point has {len(reference)} coordinates for "
+            f"{len(objective_set)} objectives"
         )
     points = set()
     for item in evaluated:
-        values = tuple(float(key(item)) for key in keys)
+        values = tuple(float(value) for value in objective_set.values(item))
         if all(value < bound for value, bound in zip(values, reference)):
             points.add(values)
     return _hv_recursive(sorted(points), reference)
@@ -138,3 +150,34 @@ def select_energy_oriented(
         raise SearchError("cannot select from an empty set of configurations")
     candidates = _filter_by_accuracy_drop(evaluated, max_accuracy_drop)
     return min(candidates, key=energy_oriented_objective)
+
+
+def select_serving_oriented(
+    evaluated: Sequence[EvaluatedConfig],
+    family=None,
+    rate_rps: Optional[float] = None,
+    max_accuracy_drop: Optional[float] = None,
+) -> EvaluatedConfig:
+    """Pick the front member that serves a workload family best.
+
+    Sibling of :func:`select_energy_oriented`: minimises the accuracy-penalised
+    M/D/1 sojourn time (service latency plus expected queueing wait) at the
+    family's peak request rate, so the pick is the member that still answers
+    quickly when the family actually bursts — not just the one that looks
+    fastest unloaded.  ``rate_rps`` overrides (or replaces) the family's peak
+    rate.  Members whose bottleneck saturates score ``inf`` and lose to any
+    member that keeps up.
+    """
+    if not evaluated:
+        raise SearchError("cannot select from an empty set of configurations")
+    if rate_rps is None:
+        if family is None:
+            raise SearchError(
+                "select_serving_oriented needs a workload family or an explicit rate_rps"
+            )
+        rate_rps = family.peak_rate_rps
+    rate = float(rate_rps)
+    if not rate > 0.0:
+        raise SearchError(f"rate_rps must be positive, got {rate_rps}")
+    candidates = _filter_by_accuracy_drop(evaluated, max_accuracy_drop)
+    return min(candidates, key=lambda item: serving_oriented_objective(item, rate))

@@ -116,6 +116,20 @@ class WorkloadFamily:
     def _member(self, rng: np.random.Generator) -> ArrivalProcess:
         raise NotImplementedError
 
+    @property
+    def peak_rate_rps(self) -> float:
+        """The family's worst-case sustained arrival rate, in requests/s.
+
+        This is the rate a serving-aware objective should provision for:
+        the steady rate for memoryless traffic, the burst rate for bursty
+        shapes.  Subclasses without a meaningful peak must override or the
+        serving objective cannot be derived from them.
+        """
+        raise ConfigurationError(
+            f"workload family {self.name!r} does not define a peak rate; "
+            "pass target_rps explicitly"
+        )
+
     def _check_jitter(self, jitter: float) -> None:
         check_non_negative(jitter, "jitter")
         if jitter >= 1.0:
@@ -141,6 +155,10 @@ class SteadyPoissonFamily(WorkloadFamily):
         return PoissonArrivals(
             self.rate_rps * _jittered(rng, self.jitter), deadline_ms=self.deadline_ms
         )
+
+    @property
+    def peak_rate_rps(self) -> float:
+        return float(self.rate_rps)
 
 
 @dataclass(frozen=True)
@@ -176,6 +194,10 @@ class OnOffBurstFamily(WorkloadFamily):
             deadline_ms=self.deadline_ms,
         )
 
+    @property
+    def peak_rate_rps(self) -> float:
+        return float(self.burst_rps)
+
 
 @dataclass(frozen=True)
 class DiurnalFamily(WorkloadFamily):
@@ -206,6 +228,10 @@ class DiurnalFamily(WorkloadFamily):
             period_ms=self.period_ms * _jittered(rng, self.jitter),
             deadline_ms=self.deadline_ms,
         )
+
+    @property
+    def peak_rate_rps(self) -> float:
+        return float(self.peak_rps)
 
 
 @dataclass(frozen=True)
@@ -247,6 +273,11 @@ class MultiTenantMixFamily(WorkloadFamily):
             deadline_ms=self.deadline_ms,
         )
         return MultiTenantStream((steady, bursty))
+
+    @property
+    def peak_rate_rps(self) -> float:
+        # Worst case: the bursty tenant surges on top of the steady tenant.
+        return float(self.steady_rps + self.burst_rps)
 
 
 #: The registry: canonical name -> zero-argument family factory.

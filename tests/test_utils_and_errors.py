@@ -102,4 +102,4 @@ class TestPackageSurface:
 
         for name in repro.__all__:
             assert hasattr(repro, name), name
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
