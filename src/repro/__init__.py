@@ -63,6 +63,7 @@ from .core.report import (
     fleet_summary,
     fleet_table,
     format_table,
+    policy_adaptivity_table,
     serving_campaign_table,
     surrogate_summary,
     traffic_ranking_summary,
@@ -83,17 +84,21 @@ from .search.objectives import (
     ObjectiveSet,
     ObjectiveSpec,
     default_objective_set,
+    measured_serving_objectives,
     serving_objectives,
 )
-from .search.pareto import select_serving_oriented
+from .search.pareto import select_measured_serving, select_serving_oriented
 from .search.space import MappingConfig, SearchSpace
 from .serving import (
+    POLICY_KINDS,
     AdaptiveSwitchPolicy,
     Deployment,
     DvfsGovernorPolicy,
     OnOffBursts,
     PoissonArrivals,
+    ServingResultCache,
     StaticPolicy,
+    SteadyPoissonFamily,
     TrafficSimulator,
     default_families,
     family_names,
@@ -115,7 +120,9 @@ __all__ = [
     "ObjectiveSet",
     "default_objective_set",
     "serving_objectives",
+    "measured_serving_objectives",
     "select_serving_oriented",
+    "select_measured_serving",
     "Platform",
     "jetson_agx_xavier",
     "platform_registry",
@@ -133,6 +140,10 @@ __all__ = [
     "run_serving_campaign",
     "serving_campaign_table",
     "traffic_ranking_summary",
+    "policy_adaptivity_table",
+    "POLICY_KINDS",
+    "ServingResultCache",
+    "SteadyPoissonFamily",
     "FleetMix",
     "FleetCampaignResult",
     "run_fleet_campaign",

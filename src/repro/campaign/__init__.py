@@ -52,6 +52,7 @@ from .runner import (
 )
 from .serving_runner import (
     MemberOutcome,
+    PolicyOutcome,
     ServingCampaignResult,
     ServingCellResult,
     run_serving_campaign,
@@ -70,6 +71,7 @@ __all__ = [
     "CellExpectation",
     "campaign_fingerprint",
     "MemberOutcome",
+    "PolicyOutcome",
     "ServingCellResult",
     "ServingCampaignResult",
     "run_serving_campaign",

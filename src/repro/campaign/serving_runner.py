@@ -33,6 +33,18 @@ under bursts loses exactly where it should.  The cell score is the geometric
 mean over the family's members (scores are ratio-scaled, so the geometric
 mean keeps one pathological member from drowning the rest linearly).
 
+the policy axis
+---------------
+``policies=("static", "switcher", "dvfs-governor")`` additionally replays
+every member's request stream through the adaptive runtime policies, built
+deterministically over the member's best static winner and the deployed
+front (:func:`repro.serving.policies.build_policy`).  Each cell then carries
+one :class:`PolicyOutcome` per (member, policy), and
+:meth:`ServingCampaignResult.adaptivity_wins` answers the deployment
+question the static sweep cannot: *when does runtime adaptivity beat the
+best static point?*  The static baseline is the ranked winner itself, so a
+governor win is against the strongest static choice for that exact traffic.
+
 Like the search campaign, everything is seed-deterministic: member
 parameters and traffic seeds derive from ``(seed, family name, index)``
 only, so serial, cell-parallel and checkpoint-resumed sweeps render a
@@ -54,9 +66,10 @@ from ..errors import ConfigurationError
 from ..nn.graph import NetworkGraph
 from ..search.evaluation import EvaluatedConfig
 from ..search.objectives import ObjectiveSet
-from ..serving.bridge import rank_under_traffic
+from ..serving.bridge import rank_under_traffic, simulate_deployment
 from ..serving.families import WorkloadFamily, member_traffic_seed, resolve_families
-from ..serving.metrics import ServingMetrics, metric_direction
+from ..serving.metrics import ServingMetrics, compute_metrics, metric_direction
+from ..serving.policies import POLICY_KINDS, build_policy
 from ..soc.platform import Platform
 from ..utils import check_positive, geometric_mean
 from .checkpoint import (
@@ -75,6 +88,7 @@ from .runner import (
 
 __all__ = [
     "MemberOutcome",
+    "PolicyOutcome",
     "ServingCellResult",
     "ServingCampaignResult",
     "run_serving_campaign",
@@ -110,16 +124,81 @@ class MemberOutcome:
 
 
 @dataclass(frozen=True)
+class PolicyOutcome:
+    """One runtime policy replaying one family member on one platform.
+
+    ``policy`` is the campaign policy kind (``"static"``, ``"switcher"``,
+    ``"dvfs-governor"``); ``deployment`` names the concrete policy instance
+    that served (e.g. which front member the static baseline used).  The
+    static outcome is byte-identical to the member's
+    :class:`MemberOutcome` — it is the baseline every adaptivity comparison
+    is made against.
+    """
+
+    policy: str
+    label: str
+    deployment: str
+    metrics: ServingMetrics
+
+    @property
+    def served_p99_per_joule(self) -> float:
+        """Requests-per-joule discounted by the p99 tail (see module docs)."""
+        requests_per_joule = 1000.0 / self.metrics.energy_per_request_mj
+        return requests_per_joule / self.metrics.p99_latency_ms
+
+
+@dataclass(frozen=True)
 class ServingCellResult:
-    """How one platform served one workload family (all members aggregated)."""
+    """How one platform served one workload family (all members aggregated).
+
+    ``policy_outcomes`` is empty for default (static-only) campaigns and
+    carries one :class:`PolicyOutcome` per ``(member, policy)`` pair when the
+    campaign swept a policy axis; cells restored from pre-policy checkpoints
+    simply lack the attribute, which readers treat as empty.
+    """
 
     platform_name: str
     family_name: str
     members: Tuple[MemberOutcome, ...]
+    policy_outcomes: Tuple[PolicyOutcome, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.members:
             raise ConfigurationError("a serving cell needs at least one member outcome")
+
+    @property
+    def policies(self) -> Tuple[str, ...]:
+        """Policy kinds this cell replayed, in campaign order."""
+        seen: List[str] = []
+        for outcome in getattr(self, "policy_outcomes", ()):
+            if outcome.policy not in seen:
+                seen.append(outcome.policy)
+        return tuple(seen)
+
+    def _policy_outcomes(self, policy: str) -> List[PolicyOutcome]:
+        outcomes = [
+            outcome
+            for outcome in getattr(self, "policy_outcomes", ())
+            if outcome.policy == policy
+        ]
+        if not outcomes:
+            raise ConfigurationError(
+                f"cell ({self.platform_name!r}, {self.family_name!r}) replayed "
+                f"no {policy!r} policy; have {list(self.policies)}"
+            )
+        return outcomes
+
+    def policy_score(self, policy: str) -> float:
+        """Geometric-mean served-p99-per-joule of one policy across members."""
+        return geometric_mean(
+            [outcome.served_p99_per_joule for outcome in self._policy_outcomes(policy)]
+        )
+
+    def policy_mean(self, policy: str, metric: str) -> float:
+        """Mean of one :class:`~repro.serving.metrics.ServingMetrics` field
+        across the members one policy replayed."""
+        outcomes = self._policy_outcomes(policy)
+        return sum(float(getattr(o.metrics, metric)) for o in outcomes) / len(outcomes)
 
     def _mean(self, metric: str) -> float:
         values = [float(getattr(outcome.metrics, metric)) for outcome in self.members]
@@ -191,6 +270,7 @@ class ServingCampaignResult:
     duration_ms: float
     metric: str
     seed: int
+    policies: Tuple[str, ...] = ("static",)
     _index: Optional[Dict[ServingCellKey, ServingCellResult]] = field(
         init=False, repr=False, compare=False, default=None
     )
@@ -245,6 +325,37 @@ class ServingCampaignResult:
             for cell in self.cells
         }
 
+    def policy_matrix(self) -> Dict[Tuple[str, str, str], float]:
+        """``(platform, family, policy) -> served-p99-per-joule`` per cell.
+
+        Empty for static-only campaigns (no policy axis was swept).
+        """
+        matrix: Dict[Tuple[str, str, str], float] = {}
+        for cell in self.cells:
+            for policy in cell.policies:
+                matrix[(cell.platform_name, cell.family_name, policy)] = (
+                    cell.policy_score(policy)
+                )
+        return matrix
+
+    def adaptivity_wins(self, policy: str = "dvfs-governor") -> List[ServingCellKey]:
+        """Cells where ``policy`` beats the best static point on
+        served-p99-per-joule, as ``(platform, family)`` keys in cell order.
+
+        The static baseline per member is the front member that won
+        ``rank_under_traffic`` — the best static choice for that exact
+        traffic — so a win here means runtime adaptivity beat the best
+        static point, not a strawman.
+        """
+        wins: List[ServingCellKey] = []
+        for cell in self.cells:
+            kinds = cell.policies
+            if policy not in kinds or "static" not in kinds:
+                continue
+            if cell.policy_score(policy) > cell.policy_score("static"):
+                wins.append((cell.platform_name, cell.family_name))
+        return wins
+
     def isolated_energy_best(self) -> str:
         """The platform whose searched front holds the lowest-energy mapping.
 
@@ -277,17 +388,26 @@ class _ServingCellTask:
     metric: str
     deadline_ms: Optional[float]
     seed: int
+    policies: Tuple[str, ...] = ("static",)
 
 
 def _run_serving_cell(task: _ServingCellTask) -> ServingCellResult:
     """Replay one family against one platform's front (worker-safe).
 
     Member scenarios and traffic seeds derive from the task contents alone,
-    so the same task yields bit-identical outcomes in any process.
+    so the same task yields bit-identical outcomes in any process.  Each
+    member is first ranked under static deployment (picking the best static
+    front member for its traffic); every additional policy kind then replays
+    the *same* request stream through a policy built deterministically from
+    that winner and the deployed front (:func:`~repro.serving.policies.build_policy`),
+    so per-member policy comparisons share identical arrivals and difficulty
+    draws.
     """
     outcomes = []
+    policy_outcomes = []
     processes = task.family.expand(task.seed, task.members)
     labels = task.family.member_labels(task.members)
+    policy_kinds = tuple(getattr(task, "policies", ("static",)))
     for index, process in enumerate(processes):
         traffic_seed = member_traffic_seed(task.seed, task.family.name, index)
         rankings = rank_under_traffic(
@@ -308,10 +428,47 @@ def _run_serving_cell(task: _ServingCellTask) -> ServingCellResult:
                 metrics=winner.metrics,
             )
         )
+        if policy_kinds == ("static",):
+            continue
+        deployed = tuple(ranking.deployment for ranking in rankings)
+        for kind in policy_kinds:
+            if kind == "static":
+                # The ranked winner *is* the static policy's replay — reuse
+                # its metrics byte-for-byte instead of re-simulating.
+                policy_outcomes.append(
+                    PolicyOutcome(
+                        policy=kind,
+                        label=labels[index],
+                        deployment=winner.deployment.name,
+                        metrics=winner.metrics,
+                    )
+                )
+                continue
+            policy = build_policy(
+                kind, winner.deployment, task.platform, front=deployed
+            )
+            result = simulate_deployment(
+                None,
+                task.platform,
+                process,
+                duration_ms=task.duration_ms,
+                policy=policy,
+                seed=traffic_seed,
+                deadline_ms=task.deadline_ms,
+            )
+            policy_outcomes.append(
+                PolicyOutcome(
+                    policy=kind,
+                    label=labels[index],
+                    deployment=policy.name,
+                    metrics=compute_metrics(result),
+                )
+            )
     return ServingCellResult(
         platform_name=task.platform.name,
         family_name=task.family.name,
         members=tuple(outcomes),
+        policy_outcomes=tuple(policy_outcomes),
     )
 
 
@@ -348,6 +505,7 @@ def run_serving_campaign(
     warm_start: bool = False,
     surrogate: Optional[SurrogateSettings] = None,
     objectives: Optional[ObjectiveSet] = None,
+    policies: Sequence[str] = ("static",),
 ) -> ServingCampaignResult:
     """Search every platform, then sweep workload families over the fronts.
 
@@ -385,13 +543,28 @@ def run_serving_campaign(
         exactly the affected cells.  ``surrogate`` accelerates the per-platform searches;
         replays always deploy the oracle-validated fronts, and the serving
         fingerprint covers the deployed front, so a surrogate-shaped front
-        refreshes exactly the affected serving cells.  ``checkpoint_dir`` additionally persists every
+        refreshes exactly the affected serving cells.  ``checkpoint_dir``
+        additionally persists every
         finished *serving* cell (record kind ``serving``) in the same JSONL
         file, so an interrupted sweep resumes where it stopped; a serving
         cell whose family definition, replay budget or deployed front
         changed is re-run instead of restored.  ``cell_workers`` fans
         independent serving cells over the same-size process pool used for
         search cells; results merge deterministically.
+    policies:
+        Runtime policy kinds each cell deploys its front under (see
+        :data:`repro.serving.policies.POLICY_KINDS`).  The default
+        ``("static",)`` reproduces the historical behaviour byte-for-byte —
+        including checkpoint fingerprints, so existing checkpoints stay
+        restorable.  Adding ``"switcher"`` and/or ``"dvfs-governor"`` replays
+        every member's request stream through those policies too (built over
+        the member's best static winner and the deployed front), records one
+        :class:`PolicyOutcome` per (member, policy), and tags the serving
+        fingerprint with the policy set — changing it re-runs exactly the
+        affected cells, counted in
+        :attr:`~repro.campaign.checkpoint.CheckpointStats.refreshed`.
+        ``"static"`` must always be present: it is the baseline the
+        adaptivity comparison is made against.
     """
     platform_objs = _resolve_platforms(platforms)
     family_objs = resolve_families(families)
@@ -403,6 +576,23 @@ def run_serving_campaign(
     check_positive(duration_ms, "duration_ms")
     # Validate the ranking metric before any search work is spent.
     metric_direction(metric)
+    policy_kinds = tuple(policies)
+    if not policy_kinds:
+        raise ConfigurationError(
+            "policies must name at least one policy kind; the default is ('static',)"
+        )
+    unknown = [kind for kind in policy_kinds if kind not in POLICY_KINDS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown policy kinds {unknown}; expected a subset of {list(POLICY_KINDS)}"
+        )
+    if len(set(policy_kinds)) != len(policy_kinds):
+        raise ConfigurationError(f"policy kinds must be unique, got {list(policy_kinds)}")
+    if "static" not in policy_kinds:
+        raise ConfigurationError(
+            "policies must include 'static': it is the baseline the adaptivity "
+            "comparison is made against"
+        )
 
     campaign = run_campaign(
         network,
@@ -443,7 +633,7 @@ def run_serving_campaign(
     expectations: Dict[ServingCellKey, CellExpectation] = {}
     for family in family_objs:
         for platform in platform_objs:
-            fingerprint = campaign_fingerprint(
+            fingerprint_fields = dict(
                 network=network.name,
                 platform=platform,
                 family=family,
@@ -454,6 +644,14 @@ def run_serving_campaign(
                 front=front_fingerprints[platform.name],
                 objectives=objectives_descriptor,
             )
+            # The policy tag is default-tagged: a static-only campaign adds
+            # no field at all, so its fingerprints are byte-identical to
+            # pre-policy checkpoints and those stay restorable.  Any other
+            # policy set changes the digest, and a changed set re-runs
+            # exactly the affected cells (counted in CheckpointStats.refreshed).
+            if policy_kinds != ("static",):
+                fingerprint_fields["policies"] = policy_kinds
+            fingerprint = campaign_fingerprint(**fingerprint_fields)
             expectations[(platform.name, family.name)] = CellExpectation(
                 fingerprint=fingerprint
             )
@@ -485,6 +683,7 @@ def run_serving_campaign(
             metric=metric,
             deadline_ms=deadline_ms,
             seed=int(seed),
+            policies=policy_kinds,
         )
 
     def finish_cell(key: ServingCellKey, result: ServingCellResult) -> None:
@@ -510,4 +709,5 @@ def run_serving_campaign(
         duration_ms=float(duration_ms),
         metric=metric,
         seed=int(seed),
+        policies=policy_kinds,
     )

@@ -51,6 +51,7 @@ from ..search.pareto import (
     pareto_front,
     select_energy_oriented,
     select_latency_oriented,
+    select_measured_serving,
     select_serving_oriented,
 )
 from ..search.space import MappingConfig, SearchSpace
@@ -580,7 +581,9 @@ class MapAndConquer:
         cost-model restriction as :meth:`campaign` applies.  See
         :func:`repro.campaign.run_serving_campaign` for the remaining
         keyword arguments (families, members_per_family, duration_ms,
-        metric, deadline_ms, checkpoint_dir, cell_workers, ...).
+        metric, deadline_ms, checkpoint_dir, cell_workers, and the
+        ``policies=`` axis deploying each front under static, switcher and
+        DVFS-governor runtime policies, ...).
         """
         from ..campaign.serving_runner import run_serving_campaign
 
@@ -683,5 +686,36 @@ class MapAndConquer:
             list(evaluated),
             family=family,
             rate_rps=rate_rps,
+            max_accuracy_drop=max_accuracy_drop,
+        )
+
+    def select_measured_serving(
+        self,
+        evaluated: Sequence[EvaluatedConfig],
+        family,
+        duration_ms: float = 400.0,
+        members: int = 3,
+        cache=None,
+        max_accuracy_drop: Optional[float] = None,
+    ) -> EvaluatedConfig:
+        """Pick the front member that *measurably* serves ``family`` best.
+
+        The measured counterpart of :meth:`select_serving_oriented`: instead
+        of the M/D/1 closed form, each candidate is distilled into a
+        deployment and replayed through the traffic simulator under the
+        family's peak member on this framework's platform, scoring by
+        isolated latency plus the *measured* mean queueing delay (scaled by
+        relative accuracy).  Pass a :class:`~repro.serving.ServingResultCache`
+        (or a path) as ``cache`` to skip re-simulating repeated deployments.
+        See :func:`repro.search.pareto.select_measured_serving`.
+        """
+        return select_measured_serving(
+            list(evaluated),
+            self.platform,
+            family,
+            duration_ms=duration_ms,
+            seed=self.seed,
+            members=members,
+            cache=cache,
             max_accuracy_drop=max_accuracy_drop,
         )

@@ -32,6 +32,7 @@ __all__ = [
     "campaign_summary",
     "surrogate_summary",
     "serving_campaign_table",
+    "policy_adaptivity_table",
     "traffic_ranking_summary",
     "fleet_table",
     "fleet_summary",
@@ -415,12 +416,47 @@ def serving_campaign_table(serving) -> str:
     return format_table([cell.summary_row() for cell in serving.cells])
 
 
+def policy_adaptivity_table(serving) -> str:
+    """One row per (family, platform, policy) of a policy-axis campaign.
+
+    ``vs_static`` is the policy's served-p99-per-joule as a multiple of the
+    same cell's static baseline — above ``1.00x`` means runtime adaptivity
+    beat the best static front member for that traffic.  Fixed precision
+    keeps the table byte-deterministic for a seed.
+    """
+    rows = []
+    for cell in serving.cells:
+        kinds = cell.policies
+        static_score = cell.policy_score("static") if "static" in kinds else None
+        for policy in kinds:
+            score = cell.policy_score(policy)
+            rows.append(
+                {
+                    "family": cell.family_name,
+                    "platform": cell.platform_name,
+                    "policy": policy,
+                    "p99_ms": cell.policy_mean(policy, "p99_latency_ms"),
+                    "mJ/req": cell.policy_mean(policy, "energy_per_request_mj"),
+                    "served_p99/J": f"{score:.4f}",
+                    "vs_static": (
+                        f"{score / static_score:.2f}x"
+                        if static_score
+                        else "n/a"
+                    ),
+                }
+            )
+    return format_table(rows)
+
+
 def traffic_ranking_summary(serving) -> str:
     """Full plain-text report of a serving campaign (deterministic per seed).
 
     Contains only seed-determined numbers — the cell table, the per-family
-    platform ranking by served-p99-per-joule, and where that serving winner
-    disagrees with the platform the isolated-energy view would have picked.
+    platform ranking by served-p99-per-joule, where that serving winner
+    disagrees with the platform the isolated-energy view would have picked,
+    and (for policy-axis campaigns) the adaptivity table answering when the
+    adaptive policies beat the best static point.  Static-only campaigns
+    render byte-identically to the pre-policy format.
     """
     lines = [
         f"serving campaign: {serving.network_name} x "
@@ -461,6 +497,22 @@ def traffic_ranking_summary(serving) -> str:
         lines.append(
             "  every family's served winner matches the isolated-energy best"
         )
+    policies = tuple(getattr(serving, "policies", ("static",)))
+    if policies != ("static",):
+        lines.append("")
+        lines.append("policy adaptivity (served-p99-per-joule vs best static point):")
+        lines.append(policy_adaptivity_table(serving))
+        for policy in policies:
+            if policy == "static":
+                continue
+            wins = serving.adaptivity_wins(policy)
+            if wins:
+                lines.append(
+                    f"  {policy} beats the best static point on: "
+                    + ", ".join(f"{family}@{platform}" for platform, family in wins)
+                )
+            else:
+                lines.append(f"  {policy} never beats the best static point")
     return "\n".join(lines)
 
 

@@ -63,6 +63,7 @@ __all__ = [
     "SurrogateEvaluationBackend",
     "SurrogateAssistedStrategy",
     "SurrogateReport",
+    "spearman_rank_correlation",
 ]
 
 
@@ -500,8 +501,18 @@ def _average_ranks(values: Sequence[float]) -> np.ndarray:
     return ranks
 
 
-def _spearman(first: Sequence[float], second: Sequence[float]) -> float:
-    """Spearman rank correlation with average-rank tie handling."""
+def spearman_rank_correlation(
+    first: Sequence[float], second: Sequence[float]
+) -> float:
+    """Spearman rank correlation with average-rank tie handling.
+
+    Shared by the surrogate's rank-fidelity report and the
+    proxy-vs-measured differential layer (``bench_policy_campaigns.py`` and
+    the hypothesis tests pin the M/D/1 proxy's rank agreement with simulated
+    waits using this exact estimator).  Degenerate inputs answer
+    deterministically: fewer than two points correlate perfectly (``1.0``,
+    or ``0.0`` for empty input) and an all-ties ranking correlates ``0.0``.
+    """
     if len(first) < 2:
         return 1.0 if first else 0.0
     ranks_a = _average_ranks(first)
@@ -512,6 +523,10 @@ def _spearman(first: Sequence[float], second: Sequence[float]) -> float:
         return 0.0
     covariance = float(((ranks_a - ranks_a.mean()) * (ranks_b - ranks_b.mean())).mean())
     return covariance / (std_a * std_b)
+
+
+#: Backward-compatible private alias (the report path predates the public name).
+_spearman = spearman_rank_correlation
 
 
 def _validation_reference(

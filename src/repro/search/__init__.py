@@ -31,6 +31,7 @@ from .objectives import (
     default_objective_set,
     energy_oriented_objective,
     latency_oriented_objective,
+    measured_serving_objectives,
     nan_guarded,
     paper_objective,
     serving_objectives,
@@ -42,6 +43,7 @@ from .pareto import (
     pareto_front,
     select_energy_oriented,
     select_latency_oriented,
+    select_measured_serving,
     select_serving_oriented,
 )
 from .evolutionary import EvolutionarySearch, SearchResult
@@ -66,6 +68,7 @@ __all__ = [
     "DEFAULT_OBJECTIVES",
     "default_objective_set",
     "serving_objectives",
+    "measured_serving_objectives",
     "as_objective_set",
     "SearchConstraints",
     "mutate",
@@ -74,6 +77,7 @@ __all__ = [
     "select_energy_oriented",
     "select_latency_oriented",
     "select_serving_oriented",
+    "select_measured_serving",
     "EvolutionarySearch",
     "SearchResult",
     "single_unit_baseline",

@@ -29,7 +29,7 @@ from __future__ import annotations
 import hashlib
 import math
 import types
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,6 +47,9 @@ __all__ = [
     "ObjectiveSet",
     "default_objective_set",
     "serving_objectives",
+    "measured_serving_objectives",
+    "ExpectedWaitExtractor",
+    "MeasuredWaitExtractor",
     "as_objective_set",
     "DEFAULT_OBJECTIVES",
 ]
@@ -158,6 +161,51 @@ class ExpectedWaitExtractor:
         from ..serving.policies import Deployment
 
         return Deployment.from_evaluated(item).expected_wait_ms(self.rate_rps)
+
+
+@dataclass(frozen=True)
+class MeasuredWaitExtractor:
+    """Picklable extractor: *measured* mean queueing wait under a replay.
+
+    Where :class:`ExpectedWaitExtractor` answers from the M/D/1 formula, this
+    extractor distils the candidate into a
+    :class:`~repro.serving.policies.Deployment` and replays a short seeded
+    traffic scenario through the deterministic event-loop simulator
+    (:func:`~repro.serving.bridge.measured_serving_metrics`), reading the
+    measured ``mean_queueing_ms`` — directly comparable to the proxy, but
+    aware of burst shapes, transient queue build-up and the finite horizon
+    the proxy's steady-state assumption ignores.
+
+    The content-bearing fields (platform, workload member, traffic seed,
+    replay duration) define the extractor's identity: they appear in ``repr``
+    and therefore in objective-set fingerprints, so changing the replay
+    re-runs exactly the affected campaign cells.  The attached
+    :class:`~repro.serving.result_cache.ServingResultCache` is excluded from
+    both ``repr`` and equality — it is an accelerator, not an identity — and
+    pickles along with the extractor so process-pool evaluation backends
+    carry their warm entries across.
+    """
+
+    platform: object
+    workload: object
+    traffic_seed: int
+    duration_ms: float
+    family_name: str = ""
+    cache: Optional[object] = field(default=None, repr=False, compare=False)
+
+    def __call__(self, item: EvaluatedConfig) -> float:
+        from ..serving.bridge import measured_serving_metrics
+
+        metrics = measured_serving_metrics(
+            item,
+            self.platform,
+            self.workload,
+            self.duration_ms,
+            seed=self.traffic_seed,
+            cache=self.cache,
+            family_name=self.family_name,
+        )
+        return metrics.mean_queueing_ms
 
 
 def _extractor_identity(extractor: Callable[[EvaluatedConfig], float]) -> str:
@@ -366,6 +414,85 @@ def serving_objectives(
     wait_spec = ObjectiveSpec(
         name="expected_wait_ms",
         extractor=ExpectedWaitExtractor(rate_rps=rate),
+        direction="min",
+        transform="log1p",
+    )
+    return ObjectiveSet(specs=DEFAULT_OBJECTIVES.specs + (wait_spec,))
+
+
+def measured_serving_objectives(
+    family,
+    platform,
+    duration_ms: float = 400.0,
+    seed: int = 0,
+    members: int = 3,
+    cache=None,
+) -> ObjectiveSet:
+    """Default axes plus the *measured* queueing wait of a simulated replay.
+
+    The other half of the serving-aware loop: where :func:`serving_objectives`
+    scores candidates with the M/D/1 steady-state formula, this set replays
+    the family's busiest member (:meth:`WorkloadFamily.peak_member
+    <repro.serving.families.WorkloadFamily.peak_member>` under ``seed``)
+    through the deterministic traffic simulator for every candidate NSGA-II
+    evaluates, so the fourth objective reflects burst shapes and transient
+    queue build-up the proxy cannot see.  A content-keyed
+    :class:`~repro.serving.result_cache.ServingResultCache` makes each
+    distinct deployment pay for exactly one replay across all generations
+    and domination checks.
+
+    Parameters
+    ----------
+    family:
+        A :class:`~repro.serving.families.WorkloadFamily`; its busiest member
+        under ``seed`` becomes the replayed scenario.
+    platform:
+        The :class:`~repro.soc.platform.Platform` the deployment is simulated
+        on (a measured wait, unlike the proxy, needs concrete hardware).
+    duration_ms:
+        Replay horizon per simulation; also the probe window for picking the
+        peak member.  Short by design — the replay runs inside the search
+        loop.
+    seed:
+        Campaign seed selecting the member parameters and traffic stream.
+    members:
+        How many family members to expand when probing for the peak.
+    cache:
+        Optional :class:`~repro.serving.result_cache.ServingResultCache`
+        instance or a path for a persistent one; defaults to a fresh
+        in-memory cache private to this objective set.
+    """
+    from ..serving.families import WorkloadFamily
+    from ..serving.result_cache import ServingResultCache
+
+    if not isinstance(family, WorkloadFamily):
+        raise ConfigurationError(
+            f"measured_serving_objectives needs a WorkloadFamily, "
+            f"got {type(family).__name__}"
+        )
+    if platform is None:
+        raise ConfigurationError(
+            "measured_serving_objectives needs a platform to simulate on"
+        )
+    if not float(duration_ms) > 0.0:
+        raise ConfigurationError(f"duration_ms must be positive, got {duration_ms}")
+    if cache is None:
+        cache = ServingResultCache()
+    elif not isinstance(cache, ServingResultCache):
+        cache = ServingResultCache(path=cache)
+    _, workload, traffic_seed = family.peak_member(
+        int(seed), int(members), probe_ms=float(duration_ms)
+    )
+    wait_spec = ObjectiveSpec(
+        name="measured_wait_ms",
+        extractor=MeasuredWaitExtractor(
+            platform=platform,
+            workload=workload,
+            traffic_seed=traffic_seed,
+            duration_ms=float(duration_ms),
+            family_name=family.name,
+            cache=cache,
+        ),
         direction="min",
         transform="log1p",
     )

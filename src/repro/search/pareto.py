@@ -23,6 +23,7 @@ from .objectives import (
     as_objective_set,
     energy_oriented_objective,
     latency_oriented_objective,
+    nan_guarded,
     serving_oriented_objective,
 )
 
@@ -33,6 +34,7 @@ __all__ = [
     "select_latency_oriented",
     "select_energy_oriented",
     "select_serving_oriented",
+    "select_measured_serving",
 ]
 
 
@@ -181,3 +183,57 @@ def select_serving_oriented(
         raise SearchError(f"rate_rps must be positive, got {rate_rps}")
     candidates = _filter_by_accuracy_drop(evaluated, max_accuracy_drop)
     return min(candidates, key=lambda item: serving_oriented_objective(item, rate))
+
+
+def select_measured_serving(
+    evaluated: Sequence[EvaluatedConfig],
+    platform,
+    family,
+    duration_ms: float = 400.0,
+    seed: int = 0,
+    members: int = 3,
+    cache=None,
+    max_accuracy_drop: Optional[float] = None,
+) -> EvaluatedConfig:
+    """Pick the front member that *measurably* serves a family best.
+
+    Sibling of :func:`select_serving_oriented` with the M/D/1 proxy replaced
+    by the traffic simulator: each candidate is distilled into a deployment
+    and the family's busiest member under ``seed`` is replayed through it
+    (:func:`~repro.serving.bridge.measured_serving_metrics`), minimising the
+    accuracy-penalised measured sojourn time — service latency plus the
+    *simulated* mean queueing wait.  Passing the
+    :class:`~repro.serving.result_cache.ServingResultCache` used by a
+    ``measured_serving_objectives`` search makes the selection free: every
+    front member was already simulated during the search.
+    """
+    from ..serving.bridge import measured_serving_metrics
+    from ..serving.families import WorkloadFamily
+
+    if not evaluated:
+        raise SearchError("cannot select from an empty set of configurations")
+    if not isinstance(family, WorkloadFamily):
+        raise SearchError(
+            f"select_measured_serving needs a WorkloadFamily, "
+            f"got {type(family).__name__}"
+        )
+    _, workload, traffic_seed = family.peak_member(
+        int(seed), int(members), probe_ms=float(duration_ms)
+    )
+    candidates = _filter_by_accuracy_drop(evaluated, max_accuracy_drop)
+
+    def measured_sojourn(item: EvaluatedConfig) -> float:
+        accuracy = max(1e-3, item.accuracy)
+        accuracy_term = item.dynamic_network.network.base_accuracy / accuracy
+        metrics = measured_serving_metrics(
+            item,
+            platform,
+            workload,
+            float(duration_ms),
+            seed=traffic_seed,
+            cache=cache,
+            family_name=family.name,
+        )
+        return (item.latency_ms + metrics.mean_queueing_ms) * accuracy_term
+
+    return min(candidates, key=nan_guarded(measured_sojourn))

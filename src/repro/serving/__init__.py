@@ -15,7 +15,12 @@ this time dropping the "one request at a time" idealisation:
 * :mod:`repro.serving.metrics` -- tail latency, throughput, deadline misses,
   utilisation, energy, JSONL trace export,
 * :mod:`repro.serving.bridge` -- re-rank ``MapAndConquer.search`` results by
-  simulated p99-under-traffic instead of isolated averages,
+  simulated p99-under-traffic instead of isolated averages, and
+  :func:`~repro.serving.bridge.measured_serving_metrics`, the
+  simulate-one-deployment primitive behind the measured search objectives,
+* :mod:`repro.serving.result_cache` -- :class:`ServingResultCache`, the
+  content-keyed JSONL-persistent cache of simulated serving outcomes that
+  keeps measured-objective searches within a small factor of proxy cost,
 * :mod:`repro.serving.families` -- parameterised workload families (steady
   Poisson, bursty, diurnal, multi-tenant mixes) expanding into seeded member
   scenarios for serving campaigns (:mod:`repro.campaign.serving_runner`),
@@ -27,7 +32,12 @@ this time dropping the "one request at a time" idealisation:
   idle joules, utilisation and the byte-deterministic fleet trace.
 """
 
-from .bridge import TrafficRanking, rank_under_traffic, simulate_deployment
+from .bridge import (
+    TrafficRanking,
+    measured_serving_metrics,
+    rank_under_traffic,
+    simulate_deployment,
+)
 from .fleet import (
     AutoscaleEvent,
     AutoscalerPolicy,
@@ -71,13 +81,16 @@ from .metrics import (
     write_trace_jsonl,
 )
 from .policies import (
+    POLICY_KINDS,
     AdaptiveSwitchPolicy,
     Deployment,
     DvfsGovernorPolicy,
     ServingPolicy,
     StaticPolicy,
+    build_policy,
     rescale_deployment,
 )
+from .result_cache import ServingResultCache, deployment_digest, serving_digest
 from .simulator import RequestRecord, ServingResult, TrafficSimulator
 from .workload import (
     ArrivalProcess,
@@ -103,6 +116,12 @@ __all__ = [
     "AdaptiveSwitchPolicy",
     "DvfsGovernorPolicy",
     "rescale_deployment",
+    "POLICY_KINDS",
+    "build_policy",
+    "ServingResultCache",
+    "serving_digest",
+    "deployment_digest",
+    "measured_serving_metrics",
     "TrafficSimulator",
     "ServingResult",
     "RequestRecord",

@@ -22,10 +22,16 @@ from ..errors import ConfigurationError
 from ..soc.platform import Platform
 from .metrics import ServingMetrics, compute_metrics, metric_direction
 from .policies import Deployment, ServingPolicy, StaticPolicy
+from .result_cache import ServingResultCache, serving_digest
 from .simulator import ServingResult, TrafficSimulator
 from .workload import ArrivalProcess, Request
 
-__all__ = ["TrafficRanking", "simulate_deployment", "rank_under_traffic"]
+__all__ = [
+    "TrafficRanking",
+    "simulate_deployment",
+    "measured_serving_metrics",
+    "rank_under_traffic",
+]
 
 
 @dataclass(frozen=True)
@@ -98,6 +104,55 @@ def simulate_deployment(
     )
     requests = _resolve_requests(workload, duration_ms, seed)
     return simulator.run(requests, duration_ms=duration_ms)
+
+
+def measured_serving_metrics(
+    candidate,
+    platform: Platform,
+    workload: Union[ArrivalProcess, Sequence[Request]],
+    duration_ms: float,
+    seed: int = 0,
+    deadline_ms: Optional[float] = None,
+    cache: Optional[ServingResultCache] = None,
+    family_name: str = "",
+    name: Optional[str] = None,
+) -> ServingMetrics:
+    """Measured serving behaviour of one candidate, simulated at most once.
+
+    The cache-aware entry point behind ``measured_serving_objectives``: the
+    candidate is distilled into a :class:`~repro.serving.policies.Deployment`,
+    keyed by :func:`~repro.serving.result_cache.serving_digest` (deployment
+    content x platform x workload x seed x replay budget) and only simulated
+    on a cache miss.  NSGA-II's pairwise domination checks interrogate the
+    same candidates many times per generation; with a shared
+    :class:`~repro.serving.result_cache.ServingResultCache` each distinct
+    deployment pays for exactly one replay.
+    """
+    deployment = (
+        candidate
+        if isinstance(candidate, Deployment)
+        else Deployment.from_evaluated(candidate, name=name)
+    )
+    digest = None
+    if cache is not None:
+        digest = serving_digest(
+            deployment, platform, workload, duration_ms, seed, deadline_ms=deadline_ms
+        )
+        hit = cache.lookup(digest)
+        if hit is not None:
+            return hit
+    result = simulate_deployment(
+        deployment,
+        platform,
+        workload,
+        duration_ms,
+        seed=seed,
+        deadline_ms=deadline_ms,
+    )
+    metrics = compute_metrics(result)
+    if cache is not None:
+        cache.store(digest, metrics, family=family_name)
+    return metrics
 
 
 def rank_under_traffic(

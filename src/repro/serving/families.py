@@ -113,6 +113,35 @@ class WorkloadFamily:
         sequence = np.random.SeedSequence([int(seed), _name_tag(self.name), int(index)])
         return np.random.default_rng(sequence)
 
+    def peak_member(
+        self, seed: int, n: int, probe_ms: float = 1000.0
+    ) -> Tuple[int, ArrivalProcess, int]:
+        """The member that actually offers the most load under ``seed``.
+
+        Expands the first ``n`` members and counts the arrivals each would
+        generate over a ``probe_ms`` probe window with its own campaign
+        traffic seed (:func:`member_traffic_seed`) — the same stream a serving
+        campaign replays — then returns ``(index, process, traffic_seed)`` of
+        the busiest one (ties break to the lowest index).  This is the member
+        a measured serving objective should provision for: unlike
+        :attr:`peak_rate_rps` it reflects the jittered parameters the members
+        were actually dealt, so it stays meaningful for families whose base
+        rate is not the binding one.
+        """
+        check_positive(probe_ms, "probe_ms")
+        best_index, best_count = 0, -1
+        processes = self.expand(seed, n)
+        for index, process in enumerate(processes):
+            traffic_seed = member_traffic_seed(seed, self.name, index)
+            count = len(process.generate(probe_ms, seed=traffic_seed))
+            if count > best_count:
+                best_index, best_count = index, count
+        return (
+            best_index,
+            processes[best_index],
+            member_traffic_seed(seed, self.name, best_index),
+        )
+
     def _member(self, rng: np.random.Generator) -> ArrivalProcess:
         raise NotImplementedError
 

@@ -33,7 +33,13 @@ __all__ = [
     "AdaptiveSwitchPolicy",
     "DvfsGovernorPolicy",
     "rescale_deployment",
+    "POLICY_KINDS",
+    "build_policy",
 ]
+
+#: Policy kinds a serving campaign can sweep (`policies=` axis); "static"
+#: is the baseline every adaptivity comparison is made against.
+POLICY_KINDS = ("static", "switcher", "dvfs-governor")
 
 
 @dataclass(frozen=True)
@@ -237,6 +243,41 @@ def rescale_deployment(
         service_ms=tuple(services),
         energy_mj=tuple(energies),
         dvfs_scales=tuple(scales),
+    )
+
+
+def build_policy(
+    kind: str,
+    winner: Deployment,
+    platform: Platform,
+    front: Tuple[Deployment, ...] = (),
+) -> "ServingPolicy":
+    """Instantiate one campaign policy kind over a cell's deployed front.
+
+    ``winner`` is the best *static* deployment for the scenario (the member
+    ``rank_under_traffic`` selected); ``front`` is the full set of deployed
+    front members the adaptive policies may switch between.  Construction is
+    a pure function of its arguments, so serial, cell-parallel and resumed
+    campaigns build byte-identical policies:
+
+    * ``"static"`` serves every request with ``winner``;
+    * ``"switcher"`` hysteresis-switches between the front's most energy
+      frugal member (calm) and its highest-capacity member (surge), ties
+      broken by deployment name;
+    * ``"dvfs-governor"`` walks ``winner`` up and down its platform's DVFS
+      ladder with the load.
+    """
+    if kind == "static":
+        return StaticPolicy(winner)
+    if kind == "switcher":
+        pool = tuple(front) if front else (winner,)
+        calm = min(pool, key=lambda d: (d.expected_energy_per_request_mj, d.name))
+        surge = min(pool, key=lambda d: (d.bottleneck_busy_ms, d.name))
+        return AdaptiveSwitchPolicy(calm, surge)
+    if kind == "dvfs-governor":
+        return DvfsGovernorPolicy(winner, platform)
+    raise ConfigurationError(
+        f"unknown policy kind {kind!r}; expected one of {list(POLICY_KINDS)}"
     )
 
 
