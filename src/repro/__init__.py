@@ -84,6 +84,7 @@ from .search.objectives import (
     ObjectiveSet,
     ObjectiveSpec,
     default_objective_set,
+    MeasuredObjectives,
     measured_serving_objectives,
     serving_objectives,
 )
@@ -120,6 +121,7 @@ __all__ = [
     "ObjectiveSet",
     "default_objective_set",
     "serving_objectives",
+    "MeasuredObjectives",
     "measured_serving_objectives",
     "select_serving_oriented",
     "select_measured_serving",

@@ -124,12 +124,17 @@ class CellExpectation:
     (``""`` for a pure-oracle cell) and ``objectives`` the tag of the cell's
     :class:`~repro.search.objectives.ObjectiveSet` (``""`` for the default
     latency/energy/accuracy axes, so files written before the objective
-    layer existed keep restoring).  Both are deliberately *not* folded into
-    the base fingerprint: a base mismatch means incompatible searches and
-    raises, while a surrogate or objectives mismatch only means the
-    acceleration or the optimised axes changed — the affected cells are
-    silently re-run, exactly like serving cells whose family definition
-    changed.
+    layer existed keep restoring).  A measured campaign
+    (``measured_objectives=``) puts each cell's *bound* per-platform
+    fingerprint here — platform, workload family, traffic seed, replay
+    duration — so changing the measured recipe re-runs exactly the affected
+    cells while pre-measured checkpoints restore unchanged.  Both tags are
+    deliberately *not* folded into the base fingerprint: a base mismatch
+    means incompatible searches and raises, while a surrogate or objectives
+    mismatch only means the acceleration or the optimised axes changed — the
+    affected cells are silently re-run (counted in
+    :attr:`CheckpointStats.refreshed`), exactly like serving cells whose
+    family definition changed.
     """
 
     fingerprint: str

@@ -47,12 +47,13 @@ from ..engine.surrogate import SurrogateSettings
 from ..errors import ConfigurationError
 from ..nn.graph import NetworkGraph
 from ..search.evaluation import EvaluatedConfig
-from ..search.objectives import ObjectiveSet
+from ..search.objectives import MeasuredObjectives, ObjectiveSet
 from ..search.pareto import select_energy_oriented, select_latency_oriented
 from ..serving.families import WorkloadFamily, member_traffic_seed, resolve_families
 from ..serving.fleet import AutoscalerPolicy, FleetInstance, get_router, simulate_fleet
 from ..serving.fleet_metrics import FleetMetrics, compute_fleet_metrics
 from ..serving.policies import Deployment
+from ..serving.result_cache import ServingResultCache
 from ..soc.platform import Platform
 from ..soc.presets import get_platform
 from ..utils import check_positive
@@ -105,6 +106,16 @@ class FleetMix:
         keeps every instance powered for the whole replay.
     boot_ms:
         Cold-start latency of every instance in this mix.
+    shed_backlog_ms:
+        Optional load-shedding bound forwarded to
+        :func:`repro.serving.fleet.simulate_fleet`: a request is dropped when
+        every ready instance's estimated backlog exceeds it.  ``None`` (the
+        default) never sheds, reproducing the historical behaviour — and the
+        historical checkpoint fingerprints — byte-for-byte.  An undersized
+        mix with an aggressive bound can shed *every* request of a hot
+        member; such a cell aggregates to the degenerate
+        :class:`~repro.serving.fleet_metrics.FleetMetrics` (zero completed,
+        infinite tails) and ranks last instead of crashing the campaign.
     """
 
     name: str
@@ -113,6 +124,7 @@ class FleetMix:
     router: str = "least-loaded"
     autoscaler: Optional[AutoscalerPolicy] = None
     boot_ms: float = 250.0
+    shed_backlog_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -131,6 +143,8 @@ class FleetMix:
             )
         get_router(self.router)  # validate the name before any search is spent
         check_positive(self.boot_ms, "boot_ms")
+        if self.shed_backlog_ms is not None:
+            check_positive(self.shed_backlog_ms, "shed_backlog_ms")
 
     @property
     def total_instances(self) -> int:
@@ -389,6 +403,7 @@ class _FleetCellTask:
     p99_slo_ms: float
     deadline_ms: Optional[float]
     seed: int
+    shed_backlog_ms: Optional[float] = None
 
 
 def _run_fleet_cell(task: _FleetCellTask) -> FleetCellResult:
@@ -411,6 +426,7 @@ def _run_fleet_cell(task: _FleetCellTask) -> FleetCellResult:
             autoscaler=task.autoscaler,
             seed=traffic_seed,
             deadline_ms=task.deadline_ms,
+            shed_backlog_ms=getattr(task, "shed_backlog_ms", None),
         )
         outcomes.append(
             FleetMemberOutcome(
@@ -515,6 +531,8 @@ def run_fleet_campaign(
     warm_start: bool = False,
     surrogate: Optional[SurrogateSettings] = None,
     objectives: Optional[ObjectiveSet] = None,
+    measured_objectives: Optional[MeasuredObjectives] = None,
+    serving_cache: Union[ServingResultCache, str, Path, None] = None,
 ) -> FleetCampaignResult:
     """Search the mixes' platforms, then sweep fleet mixes over families.
 
@@ -555,6 +573,18 @@ def run_fleet_campaign(
         changed is re-run instead of restored.  ``cell_workers`` fans
         independent fleet cells over a process pool with a deterministic
         merge, so serial == cell-parallel == kill-and-resume byte for byte.
+    measured_objectives:
+        Optional :class:`~repro.search.objectives.MeasuredObjectives` factory
+        (mutually exclusive with ``objectives``): every platform's search
+        cell binds it at fan-out time, so the fronts the mixes deploy were
+        selected under *measured* serving behaviour.  The bound per-platform
+        descriptors of every platform a mix fields enter that mix's cell
+        fingerprints, so a changed recipe re-runs exactly the affected
+        cells.
+    serving_cache:
+        Shared :class:`~repro.serving.result_cache.ServingResultCache`
+        (instance or JSONL path) behind the measured searches; defaults to a
+        fresh in-memory cache when ``measured_objectives`` is given.
     """
     mix_objs, mix_entries, platform_objs = _resolve_mixes(mixes)
     family_objs = resolve_families(families)
@@ -565,6 +595,14 @@ def run_fleet_campaign(
     members = int(members_per_family)
     check_positive(duration_ms, "duration_ms")
     check_positive(p99_slo_ms, "p99_slo_ms")
+
+    shared_serving: Optional[ServingResultCache] = None
+    if isinstance(serving_cache, ServingResultCache):
+        shared_serving = serving_cache
+    elif serving_cache is not None:
+        shared_serving = ServingResultCache(path=serving_cache)
+    elif measured_objectives is not None:
+        shared_serving = ServingResultCache()
 
     campaign = run_campaign(
         network,
@@ -586,6 +624,8 @@ def run_fleet_campaign(
         warm_start=warm_start,
         surrogate=surrogate,
         objectives=objectives,
+        measured_objectives=measured_objectives,
+        serving_cache=shared_serving,
     )
     scenario_name = campaign.scenario_names[0]
     fronts = {
@@ -613,21 +653,44 @@ def run_fleet_campaign(
     # boot latency), the family, the replay budget and SLO, and the exact
     # fronts the mix deploys — so a re-searched front or an edited mix
     # refreshes precisely the affected cells.
+    # Measured objective sets bind per platform; a mix's tag is the tuple of
+    # bound descriptors of the platforms it fields, so a changed recipe
+    # re-runs exactly the cells whose fronts it shaped.  Proxy sets keep the
+    # shared campaign-wide descriptor, byte-identical to older checkpoints.
+    measured_descriptors: Dict[str, str] = {}
+    if measured_objectives is not None:
+        measured_descriptors = {
+            platform.name: measured_objectives.bind(platform, seed=int(seed)).describe()
+            for platform in platform_objs
+        }
+
     expectations: Dict[FleetCellKey, CellExpectation] = {}
     for family in family_objs:
         for mix in mix_objs:
+            # The mix tuple only grows a shedding entry when the bound is
+            # set, so fingerprints of never-shedding mixes — the only kind
+            # that existed before the field — are byte-identical to the
+            # checkpoints older runs wrote.
+            mix_fields = [
+                mix.name,
+                tuple((platform, count) for platform, count in mix_entries[mix.name]),
+                mix.selection,
+                mix.router,
+                mix.autoscaler,
+                mix.boot_ms,
+            ]
+            if mix.shed_backlog_ms is not None:
+                mix_fields.append(float(mix.shed_backlog_ms))
+            if measured_objectives is not None:
+                objectives_tag: object = tuple(
+                    measured_descriptors[platform.name]
+                    for platform, _ in mix_entries[mix.name]
+                )
+            else:
+                objectives_tag = "" if objectives is None else objectives.describe()
             fingerprint = campaign_fingerprint(
                 network=network.name,
-                mix=(
-                    mix.name,
-                    tuple(
-                        (platform, count) for platform, count in mix_entries[mix.name]
-                    ),
-                    mix.selection,
-                    mix.router,
-                    mix.autoscaler,
-                    mix.boot_ms,
-                ),
+                mix=tuple(mix_fields),
                 family=family,
                 members=members,
                 duration_ms=float(duration_ms),
@@ -637,7 +700,7 @@ def run_fleet_campaign(
                     front_fingerprints[platform.name]
                     for platform, _ in mix_entries[mix.name]
                 ),
-                objectives="" if objectives is None else objectives.describe(),
+                objectives=objectives_tag,
             )
             expectations[(mix.name, family.name)] = CellExpectation(
                 fingerprint=fingerprint
@@ -673,6 +736,7 @@ def run_fleet_campaign(
             p99_slo_ms=float(p99_slo_ms),
             deadline_ms=deadline_ms,
             seed=int(seed),
+            shed_backlog_ms=mix.shed_backlog_ms,
         )
 
     def finish_cell(key: FleetCellKey, result: FleetCellResult) -> None:

@@ -55,8 +55,9 @@ from ..nn.graph import NetworkGraph
 from ..search.constraints import SearchConstraints
 from ..search.evaluation import EvaluatedConfig
 from ..search.evolutionary import SearchResult
-from ..search.objectives import ObjectiveSet, paper_objective
+from ..search.objectives import MeasuredObjectives, ObjectiveSet, paper_objective
 from ..search.space import MappingConfig
+from ..serving.result_cache import ServingCacheRecorder, ServingResultCache
 from ..serving.workload import ArrivalProcess
 from ..soc.platform import Platform
 from ..soc.presets import get_platform
@@ -71,6 +72,7 @@ from .portability import count_surviving_on_front, translate_config, translate_f
 __all__ = [
     "CampaignScenario",
     "CampaignCell",
+    "CellOutcome",
     "PortabilityEntry",
     "CampaignResult",
     "run_campaign",
@@ -138,6 +140,15 @@ class CampaignCell:
         ``None`` for pure-oracle cells (``getattr`` keeps results pickled
         before the field existed readable)."""
         return getattr(self.result, "surrogate", None)
+
+    @property
+    def measured_cache_stats(self):
+        """The cell's :class:`~repro.serving.result_cache.MeasuredCellStats`.
+
+        Deterministic serving-cache lookup/unique counts of a
+        measured-objective cell; ``None`` for proxy cells (``getattr`` keeps
+        results pickled before the field existed readable)."""
+        return getattr(self.result, "serving_cache_stats", None)
 
 
 @dataclass(frozen=True)
@@ -250,12 +261,29 @@ def _resolve_platforms(platforms: Sequence[Union[str, Platform]]) -> Tuple[Platf
     return resolved
 
 
+@dataclass(frozen=True)
+class CellOutcome:
+    """A cell result bundled with the serving-cache entries it simulated.
+
+    Cache-aware cell functions (measured search cells, cached serving
+    replays) return this instead of a bare result: ``cache_export`` carries
+    the ``(digest, metrics, family)`` tuples the cell's own cache handle
+    stored, so the parent process can merge a worker's simulations back into
+    the shared :class:`~repro.serving.result_cache.ServingResultCache` after
+    fan-out.  :func:`fan_out_cells` unwraps it transparently.
+    """
+
+    result: object
+    cache_export: Tuple = ()
+
+
 def fan_out_cells(
     pending: Sequence,
     make_task,
     run_cell,
     finish,
     workers: int,
+    serving_cache: Optional[ServingResultCache] = None,
 ) -> None:
     """Run independent campaign cells serially or over a process pool.
 
@@ -266,15 +294,33 @@ def fan_out_cells(
     be mutually independent and ``run_cell`` deterministic from the task
     contents alone; ``finish`` runs in the main process, so checkpoint files
     stay single-writer and completion order never leaks into results.
+
+    ``serving_cache`` wires the shared serving-result cache through: the
+    serial path hands the live handle to ``run_cell(task, serving_cache)``
+    so cells reuse each other's simulations in-process, while pool workers
+    build their own handles (from the task's cache path, or fresh in-memory)
+    and ship their new entries back inside a :class:`CellOutcome`, which is
+    absorbed into ``serving_cache`` here before ``finish`` runs.
     """
+
+    def _absorb_and_finish(key, value) -> None:
+        if isinstance(value, CellOutcome):
+            if serving_cache is not None and value.cache_export:
+                serving_cache.absorb(value.cache_export)
+            value = value.result
+        finish(key, value)
+
     if workers > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=workers) as executor:
             futures = {executor.submit(run_cell, make_task(key)): key for key in pending}
             for future in as_completed(futures):
-                finish(futures[future], future.result())
+                _absorb_and_finish(futures[future], future.result())
     else:
         for key in pending:
-            finish(key, run_cell(make_task(key)))
+            if serving_cache is not None:
+                _absorb_and_finish(key, run_cell(make_task(key), serving_cache))
+            else:
+                _absorb_and_finish(key, run_cell(make_task(key)))
 
 
 def _resolve_scenarios(
@@ -317,6 +363,8 @@ class _CellTask:
     warm_seeds: Tuple[MappingConfig, ...] = ()
     surrogate: Optional[SurrogateSettings] = None
     objectives: Optional[ObjectiveSet] = None
+    measured: Optional[MeasuredObjectives] = None
+    serving_cache_path: Optional[str] = None
 
 
 def _build_cell_framework(task: _CellTask):
@@ -335,10 +383,33 @@ def _build_cell_framework(task: _CellTask):
     )
 
 
+def _cell_measured_objectives(
+    task: _CellTask, serving_cache: Optional[ServingResultCache] = None
+) -> Tuple[Optional[ObjectiveSet], Optional[ServingCacheRecorder]]:
+    """Bind the cell's measured-objective factory, if any, to its platform.
+
+    Returns the objective set the cell's search should optimise and the
+    per-cell :class:`~repro.serving.result_cache.ServingCacheRecorder` whose
+    lookup/unique counts become the cell's deterministic cache statistics.
+    Without a factory the task's plain ``objectives`` pass through untouched.
+    ``serving_cache`` is the live shared handle (serial path); workers leave
+    it ``None`` and a handle is built from the task's cache path instead
+    (fresh in-memory when the shared cache is not persistent).
+    """
+    if task.measured is None:
+        return task.objectives, None
+    if serving_cache is None:
+        serving_cache = ServingResultCache(path=task.serving_cache_path)
+    recorder = ServingCacheRecorder(serving_cache)
+    bound = task.measured.bind(task.platform, seed=task.seed, cache=recorder)
+    return bound, recorder
+
+
 def _run_cell(
     task: _CellTask,
     cache: Optional[EvaluationCache] = None,
     framework=None,
+    serving_cache: Optional[ServingResultCache] = None,
 ) -> SearchResult:
     """Run one cell's search.  Top-level so a process pool can dispatch it.
 
@@ -349,7 +420,8 @@ def _run_cell(
     """
     if framework is None:
         framework = _build_cell_framework(task)
-    return framework.search(
+    objectives, recorder = _cell_measured_objectives(task, serving_cache)
+    result = framework.search(
         generations=task.generations,
         population_size=task.population_size,
         constraints=task.scenario.resolve_constraints(),
@@ -360,8 +432,29 @@ def _run_cell(
         cache=cache,
         initial_population=list(task.warm_seeds) if task.warm_seeds else None,
         surrogate=task.surrogate,
-        objectives=task.objectives,
+        objectives=objectives,
     )
+    if recorder is not None:
+        # Attach the cell's deterministic lookup/unique counts: they are a
+        # pure function of the seeded search trajectory, so serial,
+        # cell-parallel and checkpoint-restored results agree byte for byte.
+        result = dataclasses.replace(
+            result, serving_cache_stats=recorder.cell_stats()
+        )
+    return result
+
+
+def _run_cell_offloaded(task: _CellTask) -> CellOutcome:
+    """Worker entry point for measured cells: search + cache export.
+
+    The worker builds its own serving-cache handle (appending to the shared
+    JSONL when one is configured, fresh in-memory otherwise) and ships the
+    entries it simulated back to the parent, which absorbs them into the
+    shared cache so later waves and the serving replays can reuse them.
+    """
+    handle = ServingResultCache(path=task.serving_cache_path)
+    result = _run_cell(task, serving_cache=handle)
+    return CellOutcome(result=result, cache_export=handle.export_session())
 
 
 def run_campaign(
@@ -388,6 +481,8 @@ def run_campaign(
     warm_start: bool = False,
     surrogate: Optional[SurrogateSettings] = None,
     objectives: Optional[ObjectiveSet] = None,
+    measured_objectives: Optional[MeasuredObjectives] = None,
+    serving_cache: Union[ServingResultCache, str, Path, None] = None,
 ) -> CampaignResult:
     """Search ``network`` across a platform x scenario grid and compare.
 
@@ -465,6 +560,29 @@ def run_campaign(
         checkpoints record its fingerprint: resuming with a different set
         re-runs exactly the affected cells, counted in
         :attr:`~repro.campaign.checkpoint.CheckpointStats.refreshed`.
+    measured_objectives:
+        Optional :class:`~repro.search.objectives.MeasuredObjectives`
+        factory: every cell then searches under
+        :func:`~repro.search.objectives.measured_serving_objectives` bound
+        to *its own* platform (and the campaign seed) at fan-out time, with
+        the shared ``serving_cache`` deduplicating replays grid-wide.
+        Mutually exclusive with ``objectives`` (a ready set binds a single
+        platform).  Each cell's checkpoint records the *bound* set's
+        fingerprint, so changing the family, seed, member count or replay
+        duration re-runs exactly the affected cells
+        (:attr:`~repro.campaign.checkpoint.CheckpointStats.refreshed`);
+        checkpoints written before measuring restore unchanged when the
+        factory is absent.  Each cell's deterministic cache statistics are
+        exposed as :attr:`CampaignCell.measured_cache_stats` and summarised
+        by :func:`repro.core.report.campaign_summary`.
+    serving_cache:
+        The grid-wide :class:`~repro.serving.result_cache.ServingResultCache`
+        (instance or JSONL path) behind ``measured_objectives``; defaults to
+        a fresh in-memory cache when measuring.  Serial cells share the live
+        handle; pool workers append through their own handles and their new
+        entries are merged back after each wave, so replays the search
+        already measured are never simulated twice — including by the
+        serving-campaign replays running on top of this grid.
     """
     platform_objs = _resolve_platforms(platforms)
     scenario_objs = _resolve_scenarios(scenarios)
@@ -525,6 +643,36 @@ def run_campaign(
     # The default set is tagged "" (not its fingerprint) so checkpoints
     # written before the objective layer existed stay restorable.
     objectives_tag = "" if objectives is None else objectives.fingerprint()
+    if measured_objectives is not None and not isinstance(
+        measured_objectives, MeasuredObjectives
+    ):
+        raise ConfigurationError(
+            f"measured_objectives must be a MeasuredObjectives factory or None, "
+            f"got {type(measured_objectives).__name__}"
+        )
+    if measured_objectives is not None and objectives is not None:
+        raise ConfigurationError(
+            "pass either objectives or measured_objectives, not both: a ready "
+            "ObjectiveSet binds a single platform, while the factory binds each "
+            "cell's platform at fan-out time"
+        )
+    if isinstance(serving_cache, ServingResultCache):
+        shared_serving = serving_cache
+    elif serving_cache is not None:
+        shared_serving = ServingResultCache(path=serving_cache)
+    elif measured_objectives is not None:
+        shared_serving = ServingResultCache()
+    else:
+        shared_serving = None
+    # Per-platform tags of the *bound* measured sets: the extractor's repr
+    # covers platform, workload member, traffic seed and duration, so any
+    # cache-relevant change re-runs exactly the affected cells on resume.
+    measured_tags: Dict[str, str] = {}
+    if measured_objectives is not None:
+        for platform in platform_objs:
+            measured_tags[platform.name] = measured_objectives.bind(
+                platform, seed=int(seed)
+            ).fingerprint()
 
     def cell_budget(scenario: CampaignScenario) -> Tuple[int, int]:
         gens = scenario.generations if scenario.generations is not None else generations
@@ -568,7 +716,7 @@ def run_campaign(
                 fingerprint=fingerprint,
                 donors=donors,
                 surrogate=surrogate_tag,
-                objectives=objectives_tag,
+                objectives=measured_tags.get(platform.name, objectives_tag),
             )
 
     checkpoint: Optional[CampaignCheckpoint] = None
@@ -624,6 +772,12 @@ def run_campaign(
             warm_seeds=warm_seeds,
             surrogate=cell_surrogate,
             objectives=objectives,
+            measured=measured_objectives,
+            serving_cache_path=(
+                None
+                if shared_serving is None or shared_serving.path is None
+                else str(shared_serving.path)
+            ),
         )
 
     def finish_cell(key: CellKey, result: SearchResult) -> None:
@@ -660,18 +814,35 @@ def run_campaign(
             if workers > 1 and len(pending) > 1:
                 if executor is None:
                     executor = ProcessPoolExecutor(max_workers=workers)
-                futures = {
-                    executor.submit(_run_cell, tasks[key]): key for key in pending
-                }
+                # Measured cells return a CellOutcome so the worker's fresh
+                # simulations merge back into the shared serving cache —
+                # later waves then reuse them exactly like the serial path.
+                run = _run_cell if measured_objectives is None else _run_cell_offloaded
+                futures = {executor.submit(run, tasks[key]): key for key in pending}
                 for future in as_completed(futures):
                     key = futures[future]
-                    finish_cell(key, future.result())
+                    outcome = future.result()
+                    if isinstance(outcome, CellOutcome):
+                        if shared_serving is not None and outcome.cache_export:
+                            shared_serving.absorb(outcome.cache_export)
+                        outcome = outcome.result
+                    finish_cell(key, outcome)
                     offloaded.add(key)
             else:
                 for key in pending:
                     framework = _build_cell_framework(tasks[key])
                     frameworks[key] = framework
-                    finish_cell(key, _run_cell(tasks[key], shared_cache, framework))
+                    # The serving kwarg only appears when a shared cache
+                    # exists, so non-measured campaigns keep calling
+                    # _run_cell with its historical signature.
+                    extra = (
+                        {} if shared_serving is None
+                        else {"serving_cache": shared_serving}
+                    )
+                    finish_cell(
+                        key,
+                        _run_cell(tasks[key], shared_cache, framework, **extra),
+                    )
     finally:
         if executor is not None:
             executor.shutdown()

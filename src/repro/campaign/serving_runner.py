@@ -53,7 +53,10 @@ byte-identical :func:`repro.core.report.traffic_ranking_summary`.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import logging
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -65,11 +68,16 @@ from ..engine.surrogate import SurrogateSettings
 from ..errors import ConfigurationError
 from ..nn.graph import NetworkGraph
 from ..search.evaluation import EvaluatedConfig
-from ..search.objectives import ObjectiveSet
-from ..serving.bridge import rank_under_traffic, simulate_deployment
+from ..search.objectives import MeasuredObjectives, ObjectiveSet
+from ..serving.bridge import (
+    measured_serving_metrics,
+    rank_under_traffic,
+    simulate_deployment,
+)
 from ..serving.families import WorkloadFamily, member_traffic_seed, resolve_families
 from ..serving.metrics import ServingMetrics, compute_metrics, metric_direction
-from ..serving.policies import POLICY_KINDS, build_policy
+from ..serving.policies import POLICY_KINDS, Deployment, build_policy
+from ..serving.result_cache import ServingResultCache, deployment_digest
 from ..soc.platform import Platform
 from ..utils import check_positive, geometric_mean
 from .checkpoint import (
@@ -81,6 +89,7 @@ from .checkpoint import (
 from .runner import (
     CampaignResult,
     CampaignScenario,
+    CellOutcome,
     _resolve_platforms,
     fan_out_cells,
     run_campaign,
@@ -92,9 +101,46 @@ __all__ = [
     "ServingCellResult",
     "ServingCampaignResult",
     "run_serving_campaign",
+    "served_p99_per_joule",
 ]
 
 logger = logging.getLogger(__name__)
+
+
+def served_p99_per_joule(metrics: ServingMetrics) -> float:
+    """Requests-per-joule discounted by the p99 tail, 0.0 when degenerate.
+
+    The single definition of the headline score *and* of its degenerate
+    case: a replay that completed nothing
+    (:attr:`~repro.serving.metrics.ServingMetrics.completed` ``== 0``), or
+    whose energy-per-request / p99 is zero, non-finite or otherwise
+    score-breaking, scores ``0.0`` — strictly below every real outcome — so
+    saturated cells rank last instead of raising ``ZeroDivisionError`` (or
+    tripping :func:`repro.utils.geometric_mean` on a non-positive value)
+    and killing the whole campaign.
+    """
+    if metrics.completed == 0:
+        return 0.0
+    energy = metrics.energy_per_request_mj
+    p99 = metrics.p99_latency_ms
+    if not (0.0 < energy < math.inf) or not (0.0 < p99 < math.inf):
+        return 0.0
+    requests_per_joule = 1000.0 / energy
+    return requests_per_joule / p99
+
+
+def _score_geometric_mean(scores: Sequence[float]) -> float:
+    """Geometric mean of member scores; 0.0 as soon as any member is degenerate.
+
+    ``geometric_mean`` rightly rejects non-positive values — but a member
+    that shed everything scores exactly 0.0 by convention, and one drowned
+    member must sink the whole cell (a platform is only as good as its worst
+    family member), so the cell collapses to 0.0 instead of raising.
+    """
+    values = [float(score) for score in scores]
+    if any(value <= 0.0 for value in values):
+        return 0.0
+    return geometric_mean(values)
 
 
 @dataclass(frozen=True)
@@ -119,8 +165,7 @@ class MemberOutcome:
     @property
     def served_p99_per_joule(self) -> float:
         """Requests-per-joule discounted by the p99 tail (see module docs)."""
-        requests_per_joule = 1000.0 / self.metrics.energy_per_request_mj
-        return requests_per_joule / self.metrics.p99_latency_ms
+        return served_p99_per_joule(self.metrics)
 
 
 @dataclass(frozen=True)
@@ -143,8 +188,7 @@ class PolicyOutcome:
     @property
     def served_p99_per_joule(self) -> float:
         """Requests-per-joule discounted by the p99 tail (see module docs)."""
-        requests_per_joule = 1000.0 / self.metrics.energy_per_request_mj
-        return requests_per_joule / self.metrics.p99_latency_ms
+        return served_p99_per_joule(self.metrics)
 
 
 @dataclass(frozen=True)
@@ -189,8 +233,10 @@ class ServingCellResult:
         return outcomes
 
     def policy_score(self, policy: str) -> float:
-        """Geometric-mean served-p99-per-joule of one policy across members."""
-        return geometric_mean(
+        """Geometric-mean served-p99-per-joule of one policy across members.
+
+        0.0 when any member replay was degenerate (shed everything)."""
+        return _score_geometric_mean(
             [outcome.served_p99_per_joule for outcome in self._policy_outcomes(policy)]
         )
 
@@ -233,8 +279,11 @@ class ServingCellResult:
 
     @property
     def served_p99_per_joule(self) -> float:
-        """Geometric mean of the members' served-p99-per-joule scores."""
-        return geometric_mean(
+        """Geometric mean of the members' served-p99-per-joule scores.
+
+        0.0 when any member replay was degenerate, so a platform that sheds a
+        whole member ranks strictly below every platform that served."""
+        return _score_geometric_mean(
             [outcome.served_p99_per_joule for outcome in self.members]
         )
 
@@ -301,8 +350,10 @@ class ServingCampaignResult:
     def ranking(self, family: str) -> List[ServingCellResult]:
         """Platform cells for ``family``, best served-p99-per-joule first.
 
-        Ties (vanishingly unlikely with real numbers) break on the platform
-        name so the ordering stays deterministic.
+        Ties (vanishingly unlikely with real numbers, but systematic for
+        degenerate cells, which all score exactly 0.0 and therefore rank
+        strictly last) break on the platform name so the ordering stays
+        deterministic.
         """
         cells = [cell for cell in self.cells if cell.family_name == family]
         if not cells:
@@ -378,7 +429,16 @@ class ServingCampaignResult:
 
 @dataclass(frozen=True)
 class _ServingCellTask:
-    """Picklable description of one serving cell, runnable in any process."""
+    """Picklable description of one serving cell, runnable in any process.
+
+    ``cached_replays`` routes the member replays through a
+    :class:`~repro.serving.result_cache.ServingResultCache` so deployments
+    the measured search already simulated are not re-simulated;
+    ``serving_cache_path`` points workers at the campaign's shared JSONL
+    (``None`` keeps worker caches in-memory; their new entries merge back via
+    :class:`~repro.campaign.runner.CellOutcome`).  Both default off, so
+    tasks pickled before the fields existed behave identically.
+    """
 
     platform: Platform
     family: WorkloadFamily
@@ -389,9 +449,73 @@ class _ServingCellTask:
     deadline_ms: Optional[float]
     seed: int
     policies: Tuple[str, ...] = ("static",)
+    cached_replays: bool = False
+    serving_cache_path: Optional[str] = None
 
 
-def _run_serving_cell(task: _ServingCellTask) -> ServingCellResult:
+def _policy_front_tag(kind: str, deployed: Sequence[Deployment]) -> str:
+    """Cache tag identifying a policy kind *and* the front it switches over.
+
+    Adaptive policies serve from the whole deployed front, but the serving
+    digest keys on the anchor deployment alone — so the tag must carry the
+    front's content, or two campaigns deploying different fronts behind the
+    same winner would collide in the shared cache.
+    """
+    blob = repr(tuple(deployment_digest(item) for item in deployed)).encode("utf-8")
+    return f"{kind}:{hashlib.sha256(blob).hexdigest()[:12]}"
+
+
+def _rank_front_cached(
+    task: _ServingCellTask,
+    process,
+    traffic_seed: int,
+    cache,
+) -> List[Tuple[Deployment, ServingMetrics]]:
+    """Rank the deployed front under one member via the serving cache.
+
+    Mirrors :func:`~repro.serving.bridge.rank_under_traffic` exactly — same
+    ``pareto-{position}`` deployment names, same metric extraction, same
+    stable best-first sort — but each candidate goes through
+    :func:`~repro.serving.bridge.measured_serving_metrics`, so replays of
+    deployments the measured search (or an earlier run sharing the JSONL)
+    already simulated cost a cache lookup instead of a simulation.  A cache
+    hit may carry the *storer's* policy label, so the label is normalised to
+    the fresh-simulation spelling; everything else in the metrics is already
+    byte-identical because arrivals and simulator seeding are pure functions
+    of ``(workload, duration, seed)``.
+    """
+    reverse = metric_direction(task.metric) == "desc"
+    entries = []
+    for position, candidate in enumerate(task.front):
+        deployment = (
+            candidate
+            if isinstance(candidate, Deployment)
+            else Deployment.from_evaluated(candidate, name=f"pareto-{position}")
+        )
+        metrics = measured_serving_metrics(
+            deployment,
+            task.platform,
+            process,
+            task.duration_ms,
+            seed=traffic_seed,
+            deadline_ms=task.deadline_ms,
+            cache=cache,
+            family_name=task.family.name,
+        )
+        expected_policy = f"static({deployment.name})"
+        if metrics.policy != expected_policy:
+            metrics = dataclasses.replace(metrics, policy=expected_policy)
+        entries.append((deployment, metrics))
+    entries.sort(
+        key=lambda entry: float(getattr(entry[1], task.metric)), reverse=reverse
+    )
+    return entries
+
+
+def _run_serving_cell(
+    task: _ServingCellTask,
+    serving_cache: Optional[ServingResultCache] = None,
+) -> Union[ServingCellResult, CellOutcome]:
     """Replay one family against one platform's front (worker-safe).
 
     Member scenarios and traffic seeds derive from the task contents alone,
@@ -402,7 +526,19 @@ def _run_serving_cell(task: _ServingCellTask) -> ServingCellResult:
     that winner and the deployed front (:func:`~repro.serving.policies.build_policy`),
     so per-member policy comparisons share identical arrivals and difficulty
     draws.
+
+    When the task asks for cached replays, every simulation goes through a
+    :class:`~repro.serving.result_cache.ServingResultCache`: the caller's
+    handle when given (serial sweeps), else a worker-local handle appending
+    to the shared JSONL (or purely in-memory), whose new entries ship back
+    inside a :class:`~repro.campaign.runner.CellOutcome` for the parent to
+    absorb.  Cached and uncached replays produce byte-identical cells.
     """
+    local: Optional[ServingResultCache] = None
+    cache = serving_cache
+    if cache is None and getattr(task, "cached_replays", False):
+        local = ServingResultCache(path=getattr(task, "serving_cache_path", None))
+        cache = local
     outcomes = []
     policy_outcomes = []
     processes = task.family.expand(task.seed, task.members)
@@ -410,27 +546,31 @@ def _run_serving_cell(task: _ServingCellTask) -> ServingCellResult:
     policy_kinds = tuple(getattr(task, "policies", ("static",)))
     for index, process in enumerate(processes):
         traffic_seed = member_traffic_seed(task.seed, task.family.name, index)
-        rankings = rank_under_traffic(
-            list(task.front),
-            task.platform,
-            process,
-            duration_ms=task.duration_ms,
-            metric=task.metric,
-            seed=traffic_seed,
-            deadline_ms=task.deadline_ms,
-        )
-        winner = rankings[0]
+        if cache is None:
+            rankings = rank_under_traffic(
+                list(task.front),
+                task.platform,
+                process,
+                duration_ms=task.duration_ms,
+                metric=task.metric,
+                seed=traffic_seed,
+                deadline_ms=task.deadline_ms,
+            )
+            ranked = [(ranking.deployment, ranking.metrics) for ranking in rankings]
+        else:
+            ranked = _rank_front_cached(task, process, traffic_seed, cache)
+        winner_deployment, winner_metrics = ranked[0]
         outcomes.append(
             MemberOutcome(
                 label=labels[index],
                 traffic_seed=traffic_seed,
-                winner=winner.deployment.name,
-                metrics=winner.metrics,
+                winner=winner_deployment.name,
+                metrics=winner_metrics,
             )
         )
         if policy_kinds == ("static",):
             continue
-        deployed = tuple(ranking.deployment for ranking in rankings)
+        deployed = tuple(deployment for deployment, _ in ranked)
         for kind in policy_kinds:
             if kind == "static":
                 # The ranked winner *is* the static policy's replay — reuse
@@ -439,37 +579,57 @@ def _run_serving_cell(task: _ServingCellTask) -> ServingCellResult:
                     PolicyOutcome(
                         policy=kind,
                         label=labels[index],
-                        deployment=winner.deployment.name,
-                        metrics=winner.metrics,
+                        deployment=winner_deployment.name,
+                        metrics=winner_metrics,
                     )
                 )
                 continue
             policy = build_policy(
-                kind, winner.deployment, task.platform, front=deployed
+                kind, winner_deployment, task.platform, front=deployed
             )
-            result = simulate_deployment(
-                None,
-                task.platform,
-                process,
-                duration_ms=task.duration_ms,
-                policy=policy,
-                seed=traffic_seed,
-                deadline_ms=task.deadline_ms,
-            )
+            if cache is None:
+                result = simulate_deployment(
+                    None,
+                    task.platform,
+                    process,
+                    duration_ms=task.duration_ms,
+                    policy=policy,
+                    seed=traffic_seed,
+                    deadline_ms=task.deadline_ms,
+                )
+                metrics = compute_metrics(result)
+            else:
+                metrics = measured_serving_metrics(
+                    winner_deployment,
+                    task.platform,
+                    process,
+                    task.duration_ms,
+                    seed=traffic_seed,
+                    deadline_ms=task.deadline_ms,
+                    cache=cache,
+                    family_name=task.family.name,
+                    policy=policy,
+                    policy_tag=_policy_front_tag(kind, deployed),
+                )
+                if metrics.policy != policy.name:
+                    metrics = dataclasses.replace(metrics, policy=policy.name)
             policy_outcomes.append(
                 PolicyOutcome(
                     policy=kind,
                     label=labels[index],
                     deployment=policy.name,
-                    metrics=compute_metrics(result),
+                    metrics=metrics,
                 )
             )
-    return ServingCellResult(
+    result = ServingCellResult(
         platform_name=task.platform.name,
         family_name=task.family.name,
         members=tuple(outcomes),
         policy_outcomes=tuple(policy_outcomes),
     )
+    if local is not None:
+        return CellOutcome(result=result, cache_export=local.export_session())
+    return result
 
 
 def _front_fingerprint(front: Sequence[EvaluatedConfig]) -> tuple:
@@ -506,6 +666,8 @@ def run_serving_campaign(
     surrogate: Optional[SurrogateSettings] = None,
     objectives: Optional[ObjectiveSet] = None,
     policies: Sequence[str] = ("static",),
+    measured_objectives: Optional[MeasuredObjectives] = None,
+    serving_cache: Union[ServingResultCache, str, Path, None] = None,
 ) -> ServingCampaignResult:
     """Search every platform, then sweep workload families over the fronts.
 
@@ -565,6 +727,26 @@ def run_serving_campaign(
         :attr:`~repro.campaign.checkpoint.CheckpointStats.refreshed`.
         ``"static"`` must always be present: it is the baseline the
         adaptivity comparison is made against.
+    measured_objectives:
+        Optional :class:`~repro.search.objectives.MeasuredObjectives` factory
+        (mutually exclusive with ``objectives``): every search cell binds it
+        to its own platform at fan-out time, so each platform searches under
+        *measured* serving objectives — and the serving replays afterwards
+        reuse the very simulations the search already paid for, through the
+        shared ``serving_cache``.  Each cell's checkpoint tag carries the
+        bound per-platform descriptor, and so do the serving-cell
+        fingerprints, so changing the family, seed or replay duration re-runs
+        exactly the affected cells (counted in
+        :attr:`~repro.campaign.checkpoint.CheckpointStats.refreshed`).
+    serving_cache:
+        The campaign-wide :class:`~repro.serving.result_cache.ServingResultCache`
+        (instance or JSONL path) shared by the measured searches *and* the
+        serving replays; defaults to a fresh in-memory cache when
+        ``measured_objectives`` is given.  Passing a path persists every
+        simulated replay, so re-runs and resumes skip simulations across
+        process boundaries.  Cached and uncached replays produce
+        byte-identical cells — the cache only removes duplicate simulator
+        invocations, it never changes results.
     """
     platform_objs = _resolve_platforms(platforms)
     family_objs = resolve_families(families)
@@ -594,6 +776,18 @@ def run_serving_campaign(
             "comparison is made against"
         )
 
+    # One shared serving-result handle spans the whole campaign: the measured
+    # searches fill it (via run_campaign) and the serving replays below drain
+    # it, so a deployment the search already simulated under a family member
+    # is never re-simulated by that member's replay.
+    shared_serving: Optional[ServingResultCache] = None
+    if isinstance(serving_cache, ServingResultCache):
+        shared_serving = serving_cache
+    elif serving_cache is not None:
+        shared_serving = ServingResultCache(path=serving_cache)
+    elif measured_objectives is not None:
+        shared_serving = ServingResultCache()
+
     campaign = run_campaign(
         network,
         platform_objs,
@@ -614,13 +808,28 @@ def run_serving_campaign(
         warm_start=warm_start,
         surrogate=surrogate,
         objectives=objectives,
+        measured_objectives=measured_objectives,
+        serving_cache=shared_serving,
     )
     scenario_name = campaign.scenario_names[0]
     fronts = {
         platform.name: campaign.front(platform.name, scenario_name)
         for platform in platform_objs
     }
-    objectives_descriptor = "" if objectives is None else objectives.describe()
+    # The objectives tag per platform: measured sets bind to their platform,
+    # so each cell's fingerprint carries its *own* bound descriptor (family,
+    # duration, traffic seed, platform) — a changed recipe re-runs exactly
+    # the affected cells.  Proxy sets keep the shared campaign-wide tag.
+    if measured_objectives is not None:
+        objectives_descriptors = {
+            platform.name: measured_objectives.bind(platform, seed=int(seed)).describe()
+            for platform in platform_objs
+        }
+    else:
+        objectives_descriptor = "" if objectives is None else objectives.describe()
+        objectives_descriptors = {
+            platform.name: objectives_descriptor for platform in platform_objs
+        }
 
     # The serving-cell fingerprint covers everything that shapes the cell:
     # the platform and family *contents*, the replay budget, and the exact
@@ -642,7 +851,7 @@ def run_serving_campaign(
                 metric=metric,
                 deadline_ms=deadline_ms,
                 front=front_fingerprints[platform.name],
-                objectives=objectives_descriptor,
+                objectives=objectives_descriptors[platform.name],
             )
             # The policy tag is default-tagged: a static-only campaign adds
             # no field at all, so its fingerprints are byte-identical to
@@ -684,6 +893,12 @@ def run_serving_campaign(
             deadline_ms=deadline_ms,
             seed=int(seed),
             policies=policy_kinds,
+            cached_replays=shared_serving is not None,
+            serving_cache_path=(
+                None
+                if shared_serving is None or shared_serving.path is None
+                else str(shared_serving.path)
+            ),
         )
 
     def finish_cell(key: ServingCellKey, result: ServingCellResult) -> None:
@@ -693,7 +908,14 @@ def run_serving_campaign(
 
     pending = [key for key in expectations if key not in completed]
     workers = 1 if cell_workers is None else int(cell_workers)
-    fan_out_cells(pending, make_task, _run_serving_cell, finish_cell, workers)
+    fan_out_cells(
+        pending,
+        make_task,
+        _run_serving_cell,
+        finish_cell,
+        workers,
+        serving_cache=shared_serving,
+    )
 
     cells = tuple(
         completed[(platform.name, family.name)]

@@ -545,7 +545,9 @@ class MapAndConquer:
         is rejected (see ROADMAP: per-platform surrogates).  See
         :func:`repro.campaign.run_campaign` for the remaining keyword
         arguments (strategy, backend, n_workers, cache, budgets, traffic
-        re-ranking).
+        re-ranking, and ``measured_objectives=``/``serving_cache=`` for
+        searching every cell under measured serving behaviour with one
+        simulator-result cache shared grid-wide).
         """
         from ..campaign import run_campaign
 
@@ -581,9 +583,11 @@ class MapAndConquer:
         cost-model restriction as :meth:`campaign` applies.  See
         :func:`repro.campaign.run_serving_campaign` for the remaining
         keyword arguments (families, members_per_family, duration_ms,
-        metric, deadline_ms, checkpoint_dir, cell_workers, and the
+        metric, deadline_ms, checkpoint_dir, cell_workers, the
         ``policies=`` axis deploying each front under static, switcher and
-        DVFS-governor runtime policies, ...).
+        DVFS-governor runtime policies, and
+        ``measured_objectives=``/``serving_cache=`` for measured campaigns
+        whose replays reuse the very simulations the searches paid for).
         """
         from ..campaign.serving_runner import run_serving_campaign
 
@@ -622,7 +626,8 @@ class MapAndConquer:
         but the same cost-model restriction applies.  See
         :func:`repro.campaign.run_fleet_campaign` for the remaining keyword
         arguments (members_per_family, duration_ms, p99_slo_ms, deadline_ms,
-        checkpoint_dir, cell_workers, ...).
+        checkpoint_dir, cell_workers, ``measured_objectives=``/
+        ``serving_cache=``, ...).
         """
         from ..campaign.fleet_runner import run_fleet_campaign
 

@@ -236,6 +236,13 @@ def campaign_table(campaign) -> str:
     every *other* platform (summed over targets), the cross-platform
     headline of :class:`~repro.campaign.runner.CampaignResult`.
     """
+    # The sim_cache column only appears when at least one cell searched
+    # under measured serving objectives, so proxy-objective campaigns render
+    # byte-identically to the pre-measured format.
+    show_cache = any(
+        getattr(cell, "measured_cache_stats", None) is not None
+        for cell in campaign.cells
+    )
     rows = []
     for cell in campaign.cells:
         outbound = [
@@ -246,18 +253,22 @@ def campaign_table(campaign) -> str:
         transferred = sum(entry.transferred for entry in outbound)
         surviving = sum(entry.surviving_on_front for entry in outbound)
         best = cell.result.best
-        rows.append(
-            {
-                "platform": cell.platform_name,
-                "scenario": cell.scenario_name,
-                "evals": cell.result.num_evaluations,
-                "front": len(cell.front),
-                "best_lat_ms": best.latency_ms,
-                "best_enrg_mJ": best.energy_mj,
-                "acc_%": 100.0 * best.accuracy,
-                "travels": f"{surviving}/{transferred}" if transferred else "-",
-            }
-        )
+        row = {
+            "platform": cell.platform_name,
+            "scenario": cell.scenario_name,
+            "evals": cell.result.num_evaluations,
+            "front": len(cell.front),
+            "best_lat_ms": best.latency_ms,
+            "best_enrg_mJ": best.energy_mj,
+            "acc_%": 100.0 * best.accuracy,
+            "travels": f"{surviving}/{transferred}" if transferred else "-",
+        }
+        if show_cache:
+            stats = getattr(cell, "measured_cache_stats", None)
+            row["sim_cache"] = (
+                f"{stats.avoided}/{stats.lookups}" if stats is not None else "-"
+            )
+        rows.append(row)
     return format_table(rows)
 
 
@@ -280,6 +291,31 @@ def portability_table(campaign, scenario: Optional[str] = None) -> str:
                 row[target] = matrix[(source, target)]
         rows.append(row)
     return format_table(rows)
+
+
+def _measured_cache_line(cells) -> Optional[str]:
+    """Aggregate measured-serving cache efficiency over the given cells.
+
+    ``None`` when no cell searched under measured objectives (the line — and
+    only the line — is omitted, keeping proxy-campaign reports
+    byte-identical).  The counts are
+    :class:`~repro.serving.result_cache.MeasuredCellStats` — pure functions
+    of each cell's seeded search trajectory — so the line is byte-identical
+    across serial, cell-parallel and checkpoint-resumed runs.
+    """
+    stats = [
+        item
+        for item in (getattr(cell, "measured_cache_stats", None) for cell in cells)
+        if item is not None
+    ]
+    if not stats:
+        return None
+    lookups = sum(item.lookups for item in stats)
+    unique = sum(item.unique for item in stats)
+    return (
+        f"measured serving cache: {lookups - unique}/{lookups} lookups avoided "
+        f"a simulation ({unique} unique replays)"
+    )
 
 
 def campaign_summary(campaign) -> str:
@@ -321,6 +357,10 @@ def campaign_summary(campaign) -> str:
                 f"(p99 {winner.metrics.p99_latency_ms:.2f} ms, "
                 f"{winner.metrics.energy_per_request_mj:.2f} mJ/req)"
             )
+    cache_line = _measured_cache_line(campaign.cells)
+    if cache_line is not None:
+        lines.append("")
+        lines.append(cache_line)
     return "\n".join(lines)
 
 
@@ -513,6 +553,10 @@ def traffic_ranking_summary(serving) -> str:
                 )
             else:
                 lines.append(f"  {policy} never beats the best static point")
+    cache_line = _measured_cache_line(serving.campaign.cells)
+    if cache_line is not None:
+        lines.append("")
+        lines.append(cache_line)
     return "\n".join(lines)
 
 

@@ -31,6 +31,7 @@ from .objectives import (
     default_objective_set,
     energy_oriented_objective,
     latency_oriented_objective,
+    MeasuredObjectives,
     measured_serving_objectives,
     nan_guarded,
     paper_objective,
@@ -68,6 +69,7 @@ __all__ = [
     "DEFAULT_OBJECTIVES",
     "default_objective_set",
     "serving_objectives",
+    "MeasuredObjectives",
     "measured_serving_objectives",
     "as_objective_set",
     "SearchConstraints",

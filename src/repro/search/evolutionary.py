@@ -58,7 +58,12 @@ class SearchResult:
     :class:`~repro.engine.surrogate.SurrogateReport` of a
     surrogate-assisted run and is ``None`` for a pure-oracle search (typed
     loosely to avoid a circular import; results pickled before the field
-    existed read back as ``None`` via ``getattr``).
+    existed read back as ``None`` via ``getattr``).  ``serving_cache_stats``
+    carries the
+    :class:`~repro.serving.result_cache.MeasuredCellStats` of a
+    measured-objective campaign cell — deterministic lookup/unique-replay
+    counts — and is ``None`` everywhere else (same loose typing and
+    ``getattr`` compatibility for results pickled before the field existed).
     """
 
     history: Tuple[EvaluatedConfig, ...]
@@ -67,6 +72,7 @@ class SearchResult:
     best: EvaluatedConfig
     generations: Tuple[GenerationStats, ...]
     surrogate: Optional[object] = None
+    serving_cache_stats: Optional[object] = None
 
     @property
     def num_evaluations(self) -> int:

@@ -48,6 +48,7 @@ __all__ = [
     "default_objective_set",
     "serving_objectives",
     "measured_serving_objectives",
+    "MeasuredObjectives",
     "ExpectedWaitExtractor",
     "MeasuredWaitExtractor",
     "as_objective_set",
@@ -459,9 +460,13 @@ def measured_serving_objectives(
         How many family members to expand when probing for the peak.
     cache:
         Optional :class:`~repro.serving.result_cache.ServingResultCache`
-        instance or a path for a persistent one; defaults to a fresh
-        in-memory cache private to this objective set.
+        instance (or a compatible lookup/store wrapper such as
+        :class:`~repro.serving.result_cache.ServingCacheRecorder`), or a path
+        for a persistent one; defaults to a fresh in-memory cache private to
+        this objective set.
     """
+    from pathlib import Path as _Path
+
     from ..serving.families import WorkloadFamily
     from ..serving.result_cache import ServingResultCache
 
@@ -478,7 +483,7 @@ def measured_serving_objectives(
         raise ConfigurationError(f"duration_ms must be positive, got {duration_ms}")
     if cache is None:
         cache = ServingResultCache()
-    elif not isinstance(cache, ServingResultCache):
+    elif isinstance(cache, (str, _Path)):
         cache = ServingResultCache(path=cache)
     _, workload, traffic_seed = family.peak_member(
         int(seed), int(members), probe_ms=float(duration_ms)
@@ -497,6 +502,76 @@ def measured_serving_objectives(
         transform="log1p",
     )
     return ObjectiveSet(specs=DEFAULT_OBJECTIVES.specs + (wait_spec,))
+
+
+@dataclass(frozen=True)
+class MeasuredObjectives:
+    """Picklable per-cell factory for measured serving objective sets.
+
+    A campaign cannot take a ready-made
+    :func:`measured_serving_objectives` set: the set binds one concrete
+    platform (the extractor simulates on it), while a campaign fans the same
+    search out across a *grid* of platforms.  This factory carries the
+    platform-independent half of the recipe — family, replay budget, member
+    count, optional seed override — and each cell calls :meth:`bind` with its
+    own platform (and the campaign seed and shared result cache) at fan-out
+    time.  Frozen and pickle-friendly, so it ships inside cell tasks to
+    process-pool workers unchanged.
+
+    Parameters
+    ----------
+    family:
+        The :class:`~repro.serving.families.WorkloadFamily` whose busiest
+        member becomes every cell's replayed scenario.
+    duration_ms:
+        Replay horizon per simulation (also the peak-member probe window).
+    members:
+        Family members expanded when probing for the peak.
+    seed:
+        Optional override; ``None`` (default) binds with the campaign seed,
+        keeping the measured replays aligned with the serving-cell replays so
+        the shared cache can reuse search-time entries.
+    """
+
+    family: object
+    duration_ms: float = 400.0
+    members: int = 3
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        from ..serving.families import WorkloadFamily
+
+        if not isinstance(self.family, WorkloadFamily):
+            raise ConfigurationError(
+                f"MeasuredObjectives needs a WorkloadFamily, "
+                f"got {type(self.family).__name__}"
+            )
+        if not float(self.duration_ms) > 0.0:
+            raise ConfigurationError(
+                f"duration_ms must be positive, got {self.duration_ms}"
+            )
+        if int(self.members) < 1:
+            raise ConfigurationError(f"members must be >= 1, got {self.members}")
+
+    def bind(self, platform, seed: Optional[int] = None, cache=None) -> ObjectiveSet:
+        """The cell-level set: :func:`measured_serving_objectives` on ``platform``.
+
+        ``seed`` is the campaign seed (ignored when the factory carries its
+        own); ``cache`` is the cell's view of the shared
+        :class:`~repro.serving.result_cache.ServingResultCache`.  The bound
+        set's ``fingerprint()``/``describe()`` cover platform, workload
+        member, traffic seed and duration — the cache deliberately does not
+        participate in the identity.
+        """
+        effective = self.seed if self.seed is not None else (0 if seed is None else seed)
+        return measured_serving_objectives(
+            self.family,
+            platform,
+            duration_ms=float(self.duration_ms),
+            seed=int(effective),
+            members=int(self.members),
+            cache=cache,
+        )
 
 
 def as_objective_set(objectives) -> ObjectiveSet:

@@ -116,17 +116,27 @@ def measured_serving_metrics(
     cache: Optional[ServingResultCache] = None,
     family_name: str = "",
     name: Optional[str] = None,
+    policy: Optional[ServingPolicy] = None,
+    policy_tag: str = "static",
 ) -> ServingMetrics:
     """Measured serving behaviour of one candidate, simulated at most once.
 
-    The cache-aware entry point behind ``measured_serving_objectives``: the
-    candidate is distilled into a :class:`~repro.serving.policies.Deployment`,
-    keyed by :func:`~repro.serving.result_cache.serving_digest` (deployment
-    content x platform x workload x seed x replay budget) and only simulated
-    on a cache miss.  NSGA-II's pairwise domination checks interrogate the
-    same candidates many times per generation; with a shared
+    The cache-aware entry point behind ``measured_serving_objectives`` and
+    the measured campaign replays: the candidate is distilled into a
+    :class:`~repro.serving.policies.Deployment`, keyed by
+    :func:`~repro.serving.result_cache.serving_digest` (deployment content x
+    platform x workload x seed x replay budget x ``policy_tag``) and only
+    simulated on a cache miss.  NSGA-II's pairwise domination checks
+    interrogate the same candidates many times per generation; with a shared
     :class:`~repro.serving.result_cache.ServingResultCache` each distinct
-    deployment pays for exactly one replay.
+    deployment pays for exactly one replay — and serving-campaign replays of
+    deployments the search already measured pay for none.
+
+    ``policy`` replays an adaptive :class:`~repro.serving.policies.ServingPolicy`
+    (switcher, DVFS governor) instead of pinning the candidate statically; the
+    caller must then pass a ``policy_tag`` that identifies the policy *and*
+    the deployment set it switches over, since the digest still keys on the
+    anchor ``candidate``.
     """
     deployment = (
         candidate
@@ -136,16 +146,23 @@ def measured_serving_metrics(
     digest = None
     if cache is not None:
         digest = serving_digest(
-            deployment, platform, workload, duration_ms, seed, deadline_ms=deadline_ms
+            deployment,
+            platform,
+            workload,
+            duration_ms,
+            seed,
+            deadline_ms=deadline_ms,
+            policy_tag=policy_tag,
         )
         hit = cache.lookup(digest)
         if hit is not None:
             return hit
     result = simulate_deployment(
-        deployment,
+        deployment if policy is None else None,
         platform,
         workload,
         duration_ms,
+        policy=policy,
         seed=seed,
         deadline_ms=deadline_ms,
     )

@@ -95,6 +95,17 @@ class FleetMetrics:
     instance_requests: Mapping[str, int] = field(default_factory=dict)
     instance_utilisation: Mapping[str, float] = field(default_factory=dict)
 
+    @property
+    def completed(self) -> int:
+        """Served requests; ``0`` marks a fully shedding (degenerate) fleet.
+
+        Mirrors :attr:`repro.serving.metrics.ServingMetrics.completed`: when
+        load shedding drops every request the pooled aggregates follow the
+        same degenerate convention (latencies/energy-per-request ``inf``,
+        accuracy 0) and such mixes rank strictly last instead of raising.
+        """
+        return int(self.num_requests)
+
     def summary_row(self) -> dict:
         """Flat dictionary for :func:`repro.core.report.format_table`."""
         return {
@@ -163,11 +174,56 @@ def _mean_peak_active(result) -> Tuple[float, int]:
     return mean, peak
 
 
+def _degenerate_fleet_metrics(result) -> FleetMetrics:
+    """The zero-served aggregate: every request shed, nothing to pool.
+
+    Same convention as :meth:`repro.serving.metrics.ServingMetrics.degenerate`
+    — ``inf`` on every ascending latency/energy-per-request axis, accuracy 0,
+    miss rate 1 — but the system-side numbers (idle joules of warm silicon,
+    drop rate, active-instance statistics, boots) are still real and kept,
+    because an overloaded fleet that sheds everything *does* burn idle power.
+    """
+    idle_mj = float(sum(outcome.idle_energy_mj() for outcome in result.outcomes))
+    mean_active, peak_active = _mean_peak_active(result)
+    generated = len(result.requests)
+    return FleetMetrics(
+        router=result.router,
+        num_instances=len(result.outcomes),
+        num_requests=0,
+        num_dropped=result.num_dropped,
+        duration_ms=result.duration_ms,
+        throughput_rps=0.0,
+        drop_rate=result.num_dropped / generated if generated else 0.0,
+        mean_latency_ms=float("inf"),
+        p50_latency_ms=float("inf"),
+        p95_latency_ms=float("inf"),
+        p99_latency_ms=float("inf"),
+        max_latency_ms=float("inf"),
+        mean_queueing_ms=float("inf"),
+        deadline_miss_rate=1.0,
+        accuracy=0.0,
+        dynamic_energy_mj=0.0,
+        idle_energy_mj=idle_mj,
+        total_energy_mj=idle_mj,
+        energy_per_request_mj=float("inf"),
+        mean_in_flight=0.0,
+        mean_active_instances=mean_active,
+        peak_active_instances=int(peak_active),
+        boots=sum(outcome.boots for outcome in result.outcomes),
+        instance_requests={
+            outcome.instance.name: outcome.num_requests for outcome in result.outcomes
+        },
+        instance_utilisation={
+            outcome.instance.name: outcome.utilisation() for outcome in result.outcomes
+        },
+    )
+
+
 def compute_fleet_metrics(result) -> FleetMetrics:
     """Reduce a :class:`~repro.serving.fleet.FleetResult` to fleet aggregates."""
     pooled = fleet_records(result)
     if not pooled:
-        raise ConfigurationError("no served requests to aggregate (all dropped?)")
+        return _degenerate_fleet_metrics(result)
     records = [entry.record for entry in pooled]
     latencies = np.sort(np.array([record.latency_ms for record in records]))
     queueing = np.array([record.queueing_ms for record in records])

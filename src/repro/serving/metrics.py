@@ -72,6 +72,60 @@ class ServingMetrics:
     peak_in_flight: int = _asc()
     utilisation: Mapping[str, float] = field(metadata={"rank": None})
 
+    @property
+    def completed(self) -> int:
+        """Requests that actually finished; ``0`` marks a degenerate run.
+
+        A deployment hot enough to shed (or drop) every request produces no
+        completion records at all; rather than NaN means and divide-by-zero
+        scores downstream, such runs reduce to :meth:`degenerate` and this
+        flag is the single test every consumer (ranking, scoring, reporting)
+        checks before trusting the latency/energy aggregates.
+        """
+        return int(self.num_requests)
+
+    @classmethod
+    def degenerate(
+        cls,
+        policy: str,
+        duration_ms: float,
+        *,
+        mean_in_flight: float = 0.0,
+        peak_in_flight: int = 0,
+        utilisation: Optional[Mapping[str, float]] = None,
+    ) -> "ServingMetrics":
+        """The canonical zero-completion aggregate (``completed == 0``).
+
+        Defined once so every empty completion set — a fully shedding fleet
+        member, a tenant filter that matches nothing — collapses to the same
+        values: latencies and energy-per-request ``inf`` (worst possible on
+        every ascending axis), throughput/accuracy ``0.0``, deadline miss
+        rate ``1.0``.  Scores derived from these rank the run strictly last
+        instead of raising.  In-flight and utilisation statistics stay
+        overridable because the *system* state is well-defined even when no
+        request completes.
+        """
+        return cls(
+            policy=policy,
+            num_requests=0,
+            duration_ms=float(duration_ms),
+            throughput_rps=0.0,
+            mean_latency_ms=float("inf"),
+            p50_latency_ms=float("inf"),
+            p95_latency_ms=float("inf"),
+            p99_latency_ms=float("inf"),
+            max_latency_ms=float("inf"),
+            mean_queueing_ms=float("inf"),
+            deadline_miss_rate=1.0,
+            accuracy=0.0,
+            mean_stages=0.0,
+            total_energy_mj=0.0,
+            energy_per_request_mj=float("inf"),
+            mean_in_flight=float(mean_in_flight),
+            peak_in_flight=int(peak_in_flight),
+            utilisation=dict(utilisation or {}),
+        )
+
     def summary_row(self) -> dict:
         """Flat dictionary for :func:`repro.core.report.format_table`."""
         row = {
@@ -129,9 +183,19 @@ def compute_metrics(
     if tenant is not None:
         records = [record for record in records if record.tenant == tenant]
     if not records:
-        raise ConfigurationError(
-            "no records to aggregate"
-            + (f" for tenant {tenant!r}" if tenant is not None else "")
+        # Zero completions (every request shed/dropped, or a tenant filter
+        # matching nothing) is a legitimate — if catastrophic — outcome of a
+        # saturated deployment; collapse to the canonical degenerate
+        # aggregates instead of raising so campaigns rank the cell last.
+        return ServingMetrics.degenerate(
+            result.policy,
+            result.duration_ms,
+            mean_in_flight=result.mean_in_flight,
+            peak_in_flight=result.peak_in_flight,
+            utilisation={
+                name: busy / result.duration_ms if result.duration_ms > 0 else 0.0
+                for name, busy in result.busy_ms.items()
+            },
         )
     # Single pass over the records into one (n, 7) array; every reduction
     # below then sees exactly the values, dtype and element order the old

@@ -39,6 +39,8 @@ import pickle
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
 
+from dataclasses import dataclass
+
 from ..engine.cache import CacheStats
 from ..errors import ConfigurationError
 from ..soc.platform import Platform
@@ -46,7 +48,13 @@ from .metrics import ServingMetrics
 from .policies import Deployment
 from .workload import ArrivalProcess, Request
 
-__all__ = ["ServingResultCache", "serving_digest", "deployment_digest"]
+__all__ = [
+    "ServingResultCache",
+    "ServingCacheRecorder",
+    "MeasuredCellStats",
+    "serving_digest",
+    "deployment_digest",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -127,6 +135,7 @@ class ServingResultCache:
     def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
         self._entries: Dict[str, ServingMetrics] = {}
         self._families: Dict[str, str] = {}
+        self._session: list = []
         self.stats = CacheStats()
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
@@ -161,33 +170,91 @@ class ServingResultCache:
         return iter(self._entries.items())
 
     def store(self, digest: str, value: ServingMetrics, family: str = "") -> None:
-        """Insert freshly simulated metrics and persist them if configured."""
+        """Insert freshly simulated metrics and persist them if configured.
+
+        Storing under an existing digest keeps the first entry, but a
+        *conflicting* payload — same content key, different measured numbers,
+        e.g. a stale file from a different simulator build that kept the same
+        persistence version — is logged as a warning instead of being dropped
+        without a trace.
+        """
         if not isinstance(value, ServingMetrics):
             raise ConfigurationError(
                 f"cache values must be ServingMetrics, got {type(value).__name__}"
             )
-        if digest in self._entries:
+        existing = self._entries.get(digest)
+        if existing is not None:
+            stored, offered = self._metrics_summary(existing), self._metrics_summary(value)
+            if stored != offered:
+                logger.warning(
+                    "serving result cache: digest %s already stored with conflicting "
+                    "metrics (kept %s, dropped %s) — the existing entry may come from "
+                    "a stale cache file written by a different simulator build",
+                    digest[:16],
+                    stored,
+                    offered,
+                )
             return
         self._entries[digest] = value
         if family:
             self._families[digest] = family
+        self._session.append((digest, value, family))
         if self.path is not None:
             self._append(digest, value, family)
 
+    # -- cross-process merge-back ------------------------------------------------
+    def export_session(self) -> Tuple[Tuple[str, ServingMetrics, str], ...]:
+        """Entries stored through *this* handle since construction.
+
+        A process-pool worker builds its own handle, serves a cell, and ships
+        this export back with the cell result; the parent then
+        :meth:`absorb`\\ s it so later cells see the worker's simulations.
+        Loaded and absorbed entries are excluded — only genuinely new
+        simulations travel.
+        """
+        return tuple(self._session)
+
+    def absorb(self, entries) -> int:
+        """Merge ``(digest, metrics, family)`` tuples into memory; return #added.
+
+        Memory-only by design: a worker whose handle was path-backed already
+        appended its entries to the shared JSONL, so writing them again here
+        would duplicate lines.  Absorbed entries do not join this handle's
+        session export (they are not *this* process's simulations).
+        """
+        added = 0
+        for digest, value, family in entries:
+            if digest in self._entries:
+                continue
+            if not isinstance(value, ServingMetrics):
+                raise ConfigurationError(
+                    f"cache values must be ServingMetrics, got {type(value).__name__}"
+                )
+            self._entries[digest] = value
+            if family:
+                self._families[digest] = family
+            added += 1
+        return added
+
     # -- persistence -------------------------------------------------------------
     @staticmethod
-    def _record(digest: str, value: ServingMetrics, family: str) -> Dict[str, object]:
+    def _metrics_summary(value: ServingMetrics) -> Dict[str, float]:
+        """The human-readable summary persisted (and compared) per entry."""
+        return {
+            "p99_latency_ms": value.p99_latency_ms,
+            "mean_queueing_ms": value.mean_queueing_ms,
+            "energy_per_request_mj": value.energy_per_request_mj,
+            "throughput_rps": value.throughput_rps,
+        }
+
+    @classmethod
+    def _record(cls, digest: str, value: ServingMetrics, family: str) -> Dict[str, object]:
         return {
             "version": _PERSIST_VERSION,
             "key": digest,
             "family": family,
             "policy": value.policy,
-            "metrics": {
-                "p99_latency_ms": value.p99_latency_ms,
-                "mean_queueing_ms": value.mean_queueing_ms,
-                "energy_per_request_mj": value.energy_per_request_mj,
-                "throughput_rps": value.throughput_rps,
-            },
+            "metrics": cls._metrics_summary(value),
             "payload": base64.b64encode(pickle.dumps(value)).decode("ascii"),
         }
 
@@ -240,3 +307,55 @@ class ServingResultCache:
                 self.stats.loaded,
                 skipped,
             )
+
+
+@dataclass(frozen=True)
+class MeasuredCellStats:
+    """Deterministic per-cell cache-efficiency numbers for campaign summaries.
+
+    ``lookups`` counts every measured-objective interrogation of the cell's
+    search; ``unique`` counts the distinct replay digests behind them — the
+    simulations an isolated, cold cache would have to run.  ``avoided`` is
+    their difference: the replays content-keying saved versus no cache at
+    all.  Both inputs are pure functions of the cell's (seeded) search
+    trajectory, so unlike runtime hit/miss counts — which depend on whether
+    the shared cache happened to be warm — they are byte-identical across
+    serial, cell-parallel and checkpoint-resumed runs and safe to pin in
+    golden summaries.
+    """
+
+    lookups: int
+    unique: int
+
+    @property
+    def avoided(self) -> int:
+        return self.lookups - self.unique
+
+
+class ServingCacheRecorder:
+    """Per-cell view of a :class:`ServingResultCache` that counts lookups.
+
+    Wraps the shared (or worker-local) cache for exactly one campaign cell:
+    every :meth:`lookup` is tallied together with its digest, stores pass
+    straight through.  :meth:`cell_stats` then yields the
+    :class:`MeasuredCellStats` attached to that cell's search result.
+    """
+
+    def __init__(self, cache: ServingResultCache) -> None:
+        self.cache = cache
+        self._lookups = 0
+        self._digests: set = set()
+
+    def lookup(self, digest: str) -> Optional[ServingMetrics]:
+        self._lookups += 1
+        self._digests.add(digest)
+        return self.cache.lookup(digest)
+
+    def peek(self, digest: str) -> Optional[ServingMetrics]:
+        return self.cache.peek(digest)
+
+    def store(self, digest: str, value: ServingMetrics, family: str = "") -> None:
+        self.cache.store(digest, value, family)
+
+    def cell_stats(self) -> MeasuredCellStats:
+        return MeasuredCellStats(lookups=self._lookups, unique=len(self._digests))

@@ -41,11 +41,11 @@ def _interrupt_after(monkeypatch, n_cells):
     calls = {"count": 0}
     original = runner_module._run_cell
 
-    def exploding(task, cache=None, framework=None):
+    def exploding(task, cache=None, framework=None, **kwargs):
         if calls["count"] >= n_cells:
             raise KeyboardInterrupt("simulated mid-campaign crash")
         calls["count"] += 1
-        return original(task, cache, framework)
+        return original(task, cache, framework, **kwargs)
 
     monkeypatch.setattr(runner_module, "_run_cell", exploding)
     return calls
@@ -68,9 +68,9 @@ class TestResumeByteIdentity:
         searched = []
         original = runner_module._run_cell
 
-        def counting(task, cache=None, framework=None):
+        def counting(task, cache=None, framework=None, **kwargs):
             searched.append(task.platform.name)
-            return original(task, cache, framework)
+            return original(task, cache, framework, **kwargs)
 
         monkeypatch.setattr(runner_module, "_run_cell", counting)
         resumed = run_campaign(
@@ -84,7 +84,7 @@ class TestResumeByteIdentity:
     ):
         run_campaign(tiny_network, GRID, seed=SEED, checkpoint_dir=tmp_path, **BUDGET)
 
-        def forbidden(task, cache=None, framework=None):
+        def forbidden(task, cache=None, framework=None, **kwargs):
             raise AssertionError(f"cell {task.platform.name} was re-searched")
 
         monkeypatch.setattr(runner_module, "_run_cell", forbidden)
@@ -135,9 +135,9 @@ class TestCheckpointEdgeCases:
         searched = []
         original = runner_module._run_cell
 
-        def counting(task, cache=None, framework=None):
+        def counting(task, cache=None, framework=None, **kwargs):
             searched.append(task.platform.name)
-            return original(task, cache, framework)
+            return original(task, cache, framework, **kwargs)
 
         monkeypatch.setattr(runner_module, "_run_cell", counting)
         # Orin has three units like the original grid members, so the stage
@@ -166,9 +166,9 @@ class TestCheckpointEdgeCases:
         searched = []
         original = runner_module._run_cell
 
-        def counting(task, cache=None, framework=None):
+        def counting(task, cache=None, framework=None, **kwargs):
             searched.append(task.platform.name)
-            return original(task, cache, framework)
+            return original(task, cache, framework, **kwargs)
 
         monkeypatch.setattr(runner_module, "_run_cell", counting)
         with caplog.at_level(logging.WARNING, logger="repro.campaign.checkpoint"):
@@ -310,9 +310,9 @@ class TestWarmStart:
         searched = []
         original = runner_module._run_cell
 
-        def counting(task, cache=None, framework=None):
+        def counting(task, cache=None, framework=None, **kwargs):
             searched.append(task.platform.name)
-            return original(task, cache, framework)
+            return original(task, cache, framework, **kwargs)
 
         monkeypatch.setattr(runner_module, "_run_cell", counting)
         reordered = (GRID[0], "jetson-agx-orin", GRID[1])

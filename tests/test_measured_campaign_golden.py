@@ -1,0 +1,250 @@
+"""Golden-file regression pin of the measured-campaign summary bytes.
+
+A 2-platform x 2-family serving campaign whose *searches* run under measured
+serving objectives (traffic simulator in the loop, shared
+``ServingResultCache`` across cells) at a fixed seed must render the exact
+bytes stored in ``tests/data/measured_campaign_golden.txt`` — through the
+sequential path, the cell-parallel runner, and a resume after a SIGKILL lands
+mid-sweep in a separate process.  The summary includes the per-cell
+``sim_cache`` column and the campaign-wide cache-efficiency line, both derived
+from the deterministic lookup/unique counts, so the pin also guards the
+byte-identity of the cache statistics across execution modes.
+
+To regenerate after an *intentional* change::
+
+    PYTHONPATH=src python tests/test_measured_campaign_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.checkpoint import CampaignCheckpoint
+from repro.core.framework import MapAndConquer
+from repro.core.report import campaign_summary, traffic_ranking_summary
+from repro.search import MeasuredObjectives
+from repro.serving.families import OnOffBurstFamily, SteadyPoissonFamily
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "measured_campaign_golden.txt"
+
+EXTRA_PLATFORMS = ("mobile-big-little",)
+FAMILIES = (
+    SteadyPoissonFamily(rate_rps=40.0),
+    OnOffBurstFamily(burst_rps=90.0, idle_rps=5.0, burst_ms=300.0, idle_ms=500.0),
+)
+SEED = 3
+BUDGET = dict(
+    members_per_family=2,
+    duration_ms=600.0,
+    generations=2,
+    population_size=6,
+)
+
+
+def _measured() -> MeasuredObjectives:
+    return MeasuredObjectives(family=FAMILIES[0], duration_ms=250.0, members=2)
+
+
+def _tiny_network():
+    # Mirrors the conftest fixture; duplicated so --regenerate works as a
+    # plain script outside pytest.
+    from repro.nn.graph import NetworkGraph
+    from repro.nn.layers import (
+        AttentionLayer,
+        Conv2dLayer,
+        FeedForwardLayer,
+        LinearLayer,
+    )
+
+    layers = (
+        Conv2dLayer(
+            name="conv1",
+            width=16,
+            in_width=3,
+            kernel_size=3,
+            stride=1,
+            in_spatial=(8, 8),
+            out_spatial=(8, 8),
+        ),
+        AttentionLayer(name="attn", width=32, in_width=16, tokens=16, num_heads=4),
+        FeedForwardLayer(name="mlp", width=32, in_width=32, tokens=16, expansion=2.0),
+        LinearLayer(name="head", width=10, in_width=32, tokens=1),
+    )
+    return NetworkGraph(
+        name="tiny",
+        layers=layers,
+        input_shape=(3, 8, 8),
+        num_classes=10,
+        base_accuracy=0.9,
+        family="vit",
+    )
+
+
+def _render(**overrides) -> str:
+    network = overrides.pop("network", None) or _tiny_network()
+    framework = MapAndConquer(network, seed=SEED)
+    serving = framework.serving_campaign(
+        EXTRA_PLATFORMS,
+        families=FAMILIES,
+        seed=SEED,
+        measured_objectives=_measured(),
+        **BUDGET,
+        **overrides,
+    )
+    # Both renders: the search-campaign table carries the per-cell
+    # ``sim_cache`` column, the traffic ranking the campaign-wide cache line.
+    return (
+        campaign_summary(serving.campaign)
+        + "\n\n"
+        + traffic_ranking_summary(serving)
+        + "\n"
+    )
+
+
+@pytest.fixture(scope="module")
+def golden() -> str:
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing — regenerate with "
+        f"`PYTHONPATH=src python {Path(__file__).name} --regenerate`"
+    )
+    return GOLDEN_PATH.read_text(encoding="utf-8")
+
+
+def test_golden_contains_the_cache_statistics(golden):
+    assert "sim_cache" in golden
+    assert "measured serving cache:" in golden
+
+
+def test_serial_path_matches_golden(tiny_network, golden):
+    assert _render(network=tiny_network) == golden
+
+
+def test_cell_parallel_matches_golden(tiny_network, golden):
+    assert _render(network=tiny_network, cell_workers=2) == golden
+
+
+def test_checkpoint_resume_matches_golden(tiny_network, golden, tmp_path):
+    assert _render(network=tiny_network, checkpoint_dir=tmp_path) == golden
+    # Second pass: every cell restored from the checkpoint, bytes unchanged.
+    assert _render(network=tiny_network, checkpoint_dir=tmp_path) == golden
+
+
+_CHILD_SCRIPT = textwrap.dedent(
+    """
+    from repro.core.framework import MapAndConquer
+    from repro.nn.graph import NetworkGraph
+    from repro.nn.layers import (
+        AttentionLayer,
+        Conv2dLayer,
+        FeedForwardLayer,
+        LinearLayer,
+    )
+    from repro.search import MeasuredObjectives
+    from repro.serving.families import OnOffBurstFamily, SteadyPoissonFamily
+
+    layers = (
+        Conv2dLayer(
+            name="conv1", width=16, in_width=3, kernel_size=3, stride=1,
+            in_spatial=(8, 8), out_spatial=(8, 8),
+        ),
+        AttentionLayer(name="attn", width=32, in_width=16, tokens=16, num_heads=4),
+        FeedForwardLayer(name="mlp", width=32, in_width=32, tokens=16, expansion=2.0),
+        LinearLayer(name="head", width=10, in_width=32, tokens=1),
+    )
+    network = NetworkGraph(
+        name="tiny", layers=layers, input_shape=(3, 8, 8),
+        num_classes=10, base_accuracy=0.9, family="vit",
+    )
+    MapAndConquer(network, seed={seed}).serving_campaign(
+        {platforms!r},
+        families=(
+            SteadyPoissonFamily(rate_rps=40.0),
+            OnOffBurstFamily(
+                burst_rps=90.0, idle_rps=5.0, burst_ms=300.0, idle_ms=500.0
+            ),
+        ),
+        seed={seed},
+        measured_objectives=MeasuredObjectives(
+            family=SteadyPoissonFamily(rate_rps=40.0),
+            duration_ms=250.0,
+            members=2,
+        ),
+        members_per_family={members},
+        duration_ms={duration},
+        generations={generations},
+        population_size={population},
+        checkpoint_dir={checkpoint_dir!r},
+    )
+    """
+)
+
+
+def test_sigkill_mid_sweep_then_resume_matches_golden(tiny_network, golden, tmp_path):
+    checkpoint_dir = tmp_path / "checkpoints"
+    checkpoint_file = checkpoint_dir / CampaignCheckpoint.FILENAME
+    total_serving = (len(EXTRA_PLATFORMS) + 1) * len(FAMILIES)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        ["src"] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+
+    def serving_lines() -> int:
+        if not checkpoint_file.exists():
+            return 0
+        return checkpoint_file.read_text(encoding="utf-8").count('"kind": "serving"')
+
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            _CHILD_SCRIPT.format(
+                platforms=EXTRA_PLATFORMS,
+                members=BUDGET["members_per_family"],
+                duration=BUDGET["duration_ms"],
+                generations=BUDGET["generations"],
+                population=BUDGET["population_size"],
+                seed=SEED,
+                checkpoint_dir=str(checkpoint_dir),
+            ),
+        ],
+        env=env,
+    )
+    try:
+        # Kill as soon as the first serving cell lands — mid-sweep, after
+        # the measured search cells but before the replay grid completes.
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline:
+            if serving_lines() >= 1:
+                break
+            if child.poll() is not None:
+                break
+            time.sleep(0.002)
+        else:
+            raise AssertionError("first serving checkpoint never appeared")
+    finally:
+        if child.poll() is None:
+            child.send_signal(signal.SIGKILL)
+        child.wait()
+
+    finished = serving_lines()
+    assert finished >= 1
+    if finished >= total_serving:
+        pytest.skip("child finished before the kill landed — nothing to resume")
+
+    assert _render(network=tiny_network, checkpoint_dir=checkpoint_dir) == golden
+
+
+if __name__ == "__main__":
+    if "--regenerate" not in sys.argv:
+        sys.exit("pass --regenerate to overwrite the golden file")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(_render(), encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")
